@@ -1,0 +1,61 @@
+"""Shared benchmark fixtures.
+
+One bench-scale world (6k customers ≈ 1/350 of the paper's population) is
+simulated once per session and shared by every experiment benchmark; each
+benchmark regenerates one table/figure of the paper, prints it, and writes
+it to ``benchmarks/output/`` so EXPERIMENTS.md can cite the runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import ChurnPipeline, RunConfig, TelcoSimulator
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_cfg() -> RunConfig:
+    return RunConfig.bench(seed=7)
+
+
+@pytest.fixture(scope="session")
+def bench_world(bench_cfg):
+    return TelcoSimulator(bench_cfg.scale).run()
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_world, bench_cfg) -> ChurnPipeline:
+    """Baseline-features pipeline (most experiments use F1 only)."""
+    return ChurnPipeline(
+        bench_world,
+        bench_cfg.scale,
+        categories=("F1",),
+        model=bench_cfg.model,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_full_pipeline(bench_world, bench_cfg) -> ChurnPipeline:
+    """All-150-features pipeline (Tables 3/4, retention)."""
+    return ChurnPipeline(
+        bench_world,
+        bench_cfg.scale,
+        model=bench_cfg.model,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write

@@ -1,0 +1,53 @@
+"""Benchmarks for the dataset-shape results: Figure 1, Table 1, Figure 5.
+
+Paper shapes asserted:
+
+* Figure 1 — prepaid churn ≈ 9.4%/month, postpaid ≈ 5.2%, prepaid higher
+  every month;
+* Table 1 — population in dynamic balance, churners ≈ 9.2% of it;
+* Figure 5 — days-to-recharge decays quickly; < 5% of recharges fall past
+  the 15-day grace.
+"""
+
+import numpy as np
+
+from repro.core import experiments as ex
+from repro.core import reporting as rep
+
+
+def test_fig1_churn_rates(benchmark, bench_world, report_sink):
+    data = benchmark.pedantic(
+        ex.fig1_churn_rates, args=(bench_world,), rounds=1, iterations=1
+    )
+    report_sink("fig1_churn_rates", rep.report_fig1(data))
+    prepaid = np.asarray(data["prepaid"])
+    postpaid = np.asarray(data["postpaid"])
+    assert abs(prepaid.mean() - 0.094) < 0.02
+    assert abs(postpaid.mean() - 0.052) < 0.01
+    assert np.all(prepaid > postpaid)
+
+
+def test_table1_dataset_stats(benchmark, bench_world, report_sink):
+    rows = benchmark.pedantic(
+        ex.table1_dataset_stats, args=(bench_world,), rounds=1, iterations=1
+    )
+    report_sink("table1_dataset_stats", rep.report_table1(rows))
+    rates = [r["churn_rate"] for r in rows]
+    totals = [r["total"] for r in rows]
+    assert abs(np.mean(rates) - 0.092) < 0.015
+    # Dynamic balance: population stays level (paper: ±4% over 9 months).
+    assert max(totals) - min(totals) <= 0.05 * max(totals)
+
+
+def test_fig5_recharge_distribution(benchmark, bench_world, report_sink):
+    data = benchmark.pedantic(
+        ex.fig5_recharge_distribution,
+        args=(bench_world,),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("fig5_recharge_distribution", rep.report_fig5(data))
+    counts = np.asarray(data["counts"])
+    assert data["fraction_beyond_grace"] < 0.05
+    # Fast decay: the first five days dominate the distribution.
+    assert counts[:5].sum() > 0.6 * counts.sum()

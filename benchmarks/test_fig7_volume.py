@@ -1,0 +1,36 @@
+"""Benchmark for Figure 7 — Volume.
+
+Paper shape: accumulating more months of training data keeps improving all
+four metrics with diminishing returns (largest jump from 1 → 2 months).
+"""
+
+import numpy as np
+
+from repro.core import experiments as ex
+from repro.core import reporting as rep
+from repro.core.pipeline import DEFAULT_PAPER_U
+
+
+def test_fig7_volume(benchmark, bench_pipeline, report_sink):
+    rows = benchmark.pedantic(
+        ex.fig7_volume,
+        kwargs={
+            "pipeline": bench_pipeline,
+            "max_train_months": 5,
+            "test_months": [7, 8, 9],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("fig7_volume", rep.report_fig7(rows, DEFAULT_PAPER_U))
+    prs = np.asarray([r["pr_auc"] for r in rows])
+    aucs = np.asarray([r["auc"] for r in rows])
+    # More data never hurts much, and the most data beats the least.
+    assert prs[-1] > prs[0]
+    assert aucs[-1] > aucs[0] - 0.005
+    assert np.all(np.diff(prs) > -0.02)
+    # Diminishing returns: the first added month gains at least as much as
+    # the average of the later ones.
+    first_gain = prs[1] - prs[0]
+    later_gain = (prs[-1] - prs[1]) / (len(prs) - 2)
+    assert first_gain > later_gain - 0.01

@@ -1,0 +1,37 @@
+"""Benchmark for Figure 9 — classifier comparison.
+
+Paper shape: RF slightly (<3%) ahead of GBDT / LIBFM / LIBLINEAR on the
+same baseline features; "the classifiers are not as important as the
+features" — all four land in a narrow band.
+"""
+
+from repro.core import experiments as ex
+from repro.core import reporting as rep
+
+
+def test_fig9_classifiers(benchmark, bench_world, bench_cfg, report_sink):
+    rows = benchmark.pedantic(
+        ex.fig9_classifiers,
+        kwargs={
+            "world": bench_world,
+            "scale": bench_cfg.scale,
+            "model": bench_cfg.model,
+            "test_months": [6, 7, 8],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("fig9_classifiers", rep.report_fig9(rows))
+    aucs = {r["classifier"]: r["auc"] for r in rows}
+    prs = {r["classifier"]: r["pr_auc"] for r in rows}
+    assert set(aucs) == {"rf", "gbdt", "liblinear", "libfm"}
+    # Every classifier learns the task.
+    assert min(aucs.values()) > 0.78
+    # Tree ensembles are at (or within 3% AUC of) the top — the paper's
+    # "RF slightly better, <3%" finding.
+    best = max(aucs.values())
+    assert max(aucs["rf"], aucs["gbdt"]) >= best - 0.01
+    assert aucs["rf"] >= best - 0.03
+    # The spread is narrow: features dominate classifiers.
+    assert best - min(aucs.values()) < 0.08
+    assert max(prs.values()) - min(prs.values()) < 0.2

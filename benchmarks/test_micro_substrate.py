@@ -1,0 +1,104 @@
+"""Micro-benchmarks for the substrate (repeated-timing pytest-benchmark).
+
+These are classic performance benchmarks (multiple rounds) for the pieces
+the experiment harness leans on: RF training, SQL aggregation with joins,
+LDA inference, PageRank, the wide-table build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataplat.sql import SQLEngine
+from repro.dataplat.table import Table
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.graphalgo import pagerank
+from repro.ml.lda import LatentDirichletAllocation
+
+
+@pytest.fixture(scope="module")
+def train_data():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(4000, 70))
+    y = (rng.random(4000) < 1 / (1 + np.exp(-1.5 * x[:, 0]))).astype(int)
+    return x, y
+
+
+def test_bench_rf_fit(benchmark, train_data):
+    x, y = train_data
+
+    def fit():
+        return RandomForestClassifier(
+            n_trees=10, min_samples_leaf=25, max_depth=12, seed=1
+        ).fit(x, y)
+
+    model = benchmark(fit)
+    assert model.predict_proba(x[:10]).shape == (10,)
+
+
+def test_bench_rf_predict(benchmark, train_data):
+    x, y = train_data
+    model = RandomForestClassifier(n_trees=10, seed=1).fit(x, y)
+    scores = benchmark(model.predict_proba, x)
+    assert len(scores) == len(x)
+
+
+def test_bench_sql_join_aggregate(benchmark):
+    rng = np.random.default_rng(1)
+    n = 50_000
+    engine = SQLEngine()
+    engine.register(
+        Table.from_arrays(
+            imsi=rng.integers(0, 5000, size=n),
+            dur=rng.exponential(10, size=n),
+            day=rng.integers(1, 31, size=n),
+        ),
+        "cdr",
+    )
+    engine.register(
+        Table.from_arrays(
+            imsi=np.arange(5000), town=rng.integers(0, 20, size=5000)
+        ),
+        "users",
+    )
+    sql = """
+        SELECT u.town, SUM(c.dur) AS total, COUNT(*) AS n
+        FROM users u JOIN cdr c ON u.imsi = c.imsi
+        WHERE c.day > 20
+        GROUP BY u.town
+        ORDER BY u.town
+    """
+    out = benchmark(engine.query, sql)
+    assert out.num_rows == 20
+
+
+def test_bench_lda_fit(benchmark):
+    rng = np.random.default_rng(2)
+    docs = [rng.integers(0, 400, size=16).tolist() for _ in range(2000)]
+
+    def fit():
+        lda = LatentDirichletAllocation(n_topics=10, n_iter=15, seed=0)
+        return lda.fit_transform(docs, vocab_size=400)
+
+    theta = benchmark(fit)
+    assert theta.shape == (2000, 10)
+
+
+def test_bench_pagerank(benchmark):
+    rng = np.random.default_rng(3)
+    n = 20_000
+    edges = rng.integers(0, n, size=(n * 8, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    weights = rng.exponential(1.0, size=len(edges))
+    scores = benchmark(pagerank, edges, weights, n)
+    assert len(scores) == n
+
+
+def test_bench_wide_table_build(benchmark, bench_world):
+    from repro.features import WideTableBuilder
+
+    def build():
+        builder = WideTableBuilder(bench_world)
+        return builder.features(5, ("F1", "F2", "F3"))
+
+    block = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert block.n_features == 73 + 9 + 25

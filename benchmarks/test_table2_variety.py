@@ -1,0 +1,44 @@
+"""Benchmark for Table 2 — Variety.
+
+Paper shape: every OSS/derived family lifts PR-AUC over the BSS baseline;
+the strong tier is {PS KPIs, CS KPIs, co-occurrence graph} and the weak
+tier is {complaint topics, message graph}.  Exact percentages are scale-
+sensitive (the paper averages over 2.1M customers; we run ~6k), so the
+assertions are tier-based.
+"""
+
+import numpy as np
+
+from repro.core import experiments as ex
+from repro.core import reporting as rep
+
+
+def test_table2_variety(benchmark, bench_pipeline, report_sink):
+    rows = benchmark.pedantic(
+        ex.table2_variety,
+        kwargs={"pipeline": bench_pipeline},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("table2_variety", rep.report_table2(rows))
+    lifts = {r["family"]: r["delta_pr_auc"] for r in rows if r["family"] != "F1"}
+    baseline = next(r for r in rows if r["family"] == "F1")
+
+    # Baseline in the paper's band (AUC 0.875 / PR-AUC 0.541).
+    assert abs(baseline["auc"] - 0.875) < 0.04
+    assert abs(baseline["pr_auc"] - 0.541) < 0.1
+
+    # At 6k customers the per-family percentages compress hard relative to
+    # the paper's 2.1M-customer averages (EXPERIMENTS.md discusses why), so
+    # the assertions target the robust core of Table 2's shape:
+    strong = [lifts["F2"], lifts["F3"], lifts["F6"]]
+    weak = [lifts["F5"], lifts["F7"]]
+    # The OSS-KPI/co-occurrence tier beats the complaint/message tier.
+    assert np.mean(strong) > np.mean(weak)
+    # The paper's two headline OSS families genuinely add signal.
+    assert lifts["F3"] > 0
+    assert lifts["F6"] > 0
+    # No family is catastrophic — adding features never wrecks the model.
+    assert min(lifts.values()) > -0.06
+    # The message graph is never the top contributor (OTT killed SMS).
+    assert lifts["F5"] < max(lifts.values())

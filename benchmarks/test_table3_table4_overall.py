@@ -1,0 +1,60 @@
+"""Benchmarks for Table 3 (overall performance) and Table 4 (importances).
+
+Paper shapes:
+
+* Table 3 — all 150 features + 4 training months: AUC ≈ 0.93,
+  PR-AUC ≈ 0.72, P@50k ≈ 0.96; precision decays / recall grows along the
+  top-U sweep.
+* Table 4 — ``balance`` is the #1 feature; OSS KPI features sit high;
+  graph/topic/second-order features appear in the ranking.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import experiments as ex
+from repro.core import reporting as rep
+
+
+@pytest.fixture(scope="module")
+def table3(bench_full_pipeline):
+    return ex.table3_overall(bench_full_pipeline)
+
+
+def test_table3_overall(benchmark, bench_full_pipeline, report_sink, table3):
+    data = benchmark.pedantic(
+        ex.table3_overall,
+        kwargs={"pipeline": bench_full_pipeline},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("table3_overall", rep.report_table3(data))
+    assert abs(data["auc"] - 0.932) < 0.035
+    assert abs(data["pr_auc"] - 0.716) < 0.1
+    # Paper: 0.959.  The scaled top-50k list holds ~140 customers here, so
+    # the point estimate swings ±0.1 with the world seed.
+    assert data["precision_at"][50_000] > 0.75
+    # Monotone sweep: recall rises, precision falls with U.
+    us = sorted(data["recall_at"])
+    recalls = [data["recall_at"][u] for u in us]
+    precisions = [data["precision_at"][u] for u in us]
+    assert recalls == sorted(recalls)
+    assert precisions == sorted(precisions, reverse=True)
+
+
+def test_table4_importance(benchmark, table3, report_sink):
+    rows = benchmark.pedantic(
+        ex.table4_importance,
+        kwargs={"result": table3["result"], "top": 20},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("table4_importance", rep.report_table4(rows))
+    names = [r["feature"] for r in rows]
+    # balance is the paper's #1 feature; ours stays in the top three.
+    assert "balance" in names[:3]
+    # OSS KPI features are represented high in the ranking.
+    oss_markers = ("throughput", "delay", "mos", "drop_rate", "rtt")
+    assert any(any(m in n for m in oss_markers) for n in names[:10])
+    importances = np.asarray([r["importance"] for r in rows])
+    assert np.all(np.diff(importances) <= 1e-12)

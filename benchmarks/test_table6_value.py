@@ -1,0 +1,50 @@
+"""Benchmark for Table 6 — business value of churn prediction + retention.
+
+Paper shape (A/B test, months 8 and 9):
+
+* group A (no offers): very low recharge rates in the top-50k tier, higher
+  in the 50k–100k tier (lower precision there);
+* group B month 8 (expert offers): recharge rates jump by an order of
+  magnitude over group A;
+* group B month 9 (matched offers): higher still — the closed loop pays.
+"""
+
+from repro.core import experiments as ex
+from repro.core import reporting as rep
+
+
+def _pooled_rate(campaign, group: str) -> float:
+    total = sum(c.total for c in campaign.outcomes if c.group == group)
+    hit = sum(c.recharged for c in campaign.outcomes if c.group == group)
+    return hit / max(total, 1)
+
+
+def test_table6_value(benchmark, bench_full_pipeline, report_sink):
+    campaigns = benchmark.pedantic(
+        ex.table6_value,
+        kwargs={"pipeline": bench_full_pipeline, "seed": 5},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("table6_value", rep.report_table6(campaigns))
+    expert, matched = campaigns
+    assert expert.strategy == "expert"
+    assert matched.strategy == "matched"
+
+    # Control rates stay low; top tier is purer than the second tier.
+    for campaign in campaigns:
+        assert _pooled_rate(campaign, "A") < 0.2
+        assert campaign.rate("A", "top50k") <= campaign.rate("A", "50k-100k") + 0.03
+
+    # Offers lift recharge rates well past control (paper: ~2% → ~18-30%;
+    # our control rates sit higher because the second tier's precision is
+    # lower at this scale, so more non-churners recharge naturally).
+    assert _pooled_rate(expert, "B") > 1.5 * _pooled_rate(expert, "A")
+    assert _pooled_rate(matched, "B") > 1.5 * _pooled_rate(matched, "A")
+    # In the pure top tier the lift is stark.
+    assert expert.rate("B", "top50k") > 2 * expert.rate("A", "top50k")
+    assert matched.rate("B", "top50k") > 2 * matched.rate("A", "top50k")
+
+    # The matched campaign beats expert rules of thumb (paper: 18.5% → 30.8%
+    # in the top tier); pooled across tiers with a noise margin.
+    assert _pooled_rate(matched, "B") > _pooled_rate(expert, "B") - 0.02

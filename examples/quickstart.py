@@ -1,0 +1,65 @@
+"""Quickstart: simulate a telco world, train the churn model, rank churners.
+
+Runs the paper's core loop end-to-end on a small synthetic world:
+
+1. simulate 9 months of BSS/OSS data for a few thousand prepaid customers;
+2. build the full 150-feature wide table (all families F1..F9);
+3. train the deployed configuration (Random Forest, weighted instances,
+   4 months of training data) through one Figure-6 sliding window;
+4. print the paper's four metrics and the top of the potential-churner list.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ChurnPipeline, ModelConfig, ScaleConfig, TelcoSimulator
+from repro.core.window import WindowSpec
+
+
+def main() -> None:
+    scale = ScaleConfig(population=3000, months=9, seed=42)
+    print(f"Simulating {scale.population} customers x {scale.months} months ...")
+    world = TelcoSimulator(scale).run()
+
+    rates = [f"{m.churn_rate:.1%}" for m in world.months]
+    print(f"monthly churn rates: {', '.join(rates)}")
+
+    pipeline = ChurnPipeline(
+        world,
+        scale,
+        model=ModelConfig(n_trees=25, min_samples_leaf=25),
+        imbalance="weighted",
+        seed=0,
+    )
+
+    # Figure 6 window: train on months 4-7 (labeled by months 5-8), score
+    # month 8's active customers, evaluate on who actually churns in month 9.
+    print("Training on months 4-7, predicting month-9 churners ...")
+    result = pipeline.run_window(WindowSpec((4, 5, 6, 7), 8))
+
+    print(f"\nAUC     = {result.auc:.3f}   (paper Table 3: 0.932)")
+    print(f"PR-AUC  = {result.pr_auc:.3f}   (paper Table 3: 0.716)")
+    for u in sorted(result.precision_at):
+        print(
+            f"top {u:>6} (paper scale): "
+            f"precision={result.precision_at[u]:.3f} "
+            f"recall={result.recall_at[u]:.3f}"
+        )
+
+    # The deployed system's monthly artifact: the ranked churner list.
+    order = np.argsort(-result.scores)
+    print("\nTop 10 predicted churners (slot, score, actually churned):")
+    for row in order[:10]:
+        slot = result.test_slots[row]
+        print(
+            f"  customer slot {slot:>5}  "
+            f"likelihood {result.scores[row]:.3f}  "
+            f"churned={bool(result.labels[row])}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1 --population 4000
+    python -m repro table2 --population 4000 --trees 30
+    python -m repro fig7 --population 3000 --seed 11
+    python -m repro rootcause --population 3000 --top 50
+
+Every experiment command simulates a fresh world at the requested scale,
+runs the corresponding Section-5 experiment and prints the paper-shaped
+table (see EXPERIMENTS.md for what shape to expect).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import ModelConfig, ScaleConfig
+from .core import experiments as ex
+from .core import reporting as rep
+from .core.experiments import table4_importance
+from .core.pipeline import ChurnPipeline, DEFAULT_PAPER_U
+from .core.rootcause import RootCauseAnalyzer, report_root_causes
+from .core.window import WindowSpec
+from .datagen import TelcoSimulator
+from .features.spec import ALL_CATEGORIES
+
+#: Experiment command → short description.
+COMMANDS = {
+    "fig1": "monthly churn rates, prepaid vs postpaid",
+    "table1": "per-month dataset statistics",
+    "fig5": "days-to-recharge distribution",
+    "fig7": "Volume: metrics vs training months",
+    "table2": "Variety: per-family feature lifts",
+    "table3": "overall performance (150 features, 4 months)",
+    "table4": "RF feature-importance ranking",
+    "table5": "Velocity: metrics vs sliding stride",
+    "table6": "Value: A/B retention campaigns",
+    "fig8": "early signals: metrics vs lead time",
+    "table7": "class-imbalance treatments",
+    "fig9": "classifier comparison",
+    "rootcause": "per-churner root causes (paper extension)",
+    "netopt": "counterfactual network-optimization study (paper extension)",
+    "monitor": "feature/score drift report between two months (PSI)",
+    "list": "list available experiments",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'Telco Churn Prediction with Big Data' (SIGMOD 2015)",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(COMMANDS),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--population", type=int, default=3000,
+                        help="synthetic customers per month (default 3000)")
+    parser.add_argument("--months", type=int, default=9,
+                        help="simulated months (default 9, like the paper)")
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument("--trees", type=int, default=25,
+                        help="random-forest size (default 25)")
+    parser.add_argument("--min-leaf", type=int, default=25,
+                        help="minimum samples per RF leaf (default 25)")
+    parser.add_argument("--top", type=int, default=50,
+                        help="rootcause: analyse the top-N churners")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, description in sorted(COMMANDS.items()):
+            print(f"  {name:<10} {description}")
+        return 0
+
+    scale = ScaleConfig(
+        population=args.population, months=args.months, seed=args.seed
+    )
+    model = ModelConfig(n_trees=args.trees, min_samples_leaf=args.min_leaf)
+    started = time.time()
+    print(
+        f"simulating {scale.population} customers x {scale.months} months "
+        f"(seed {scale.seed}) ...",
+        file=sys.stderr,
+    )
+    world = TelcoSimulator(scale).run()
+
+    if args.experiment == "fig1":
+        print(rep.report_fig1(ex.fig1_churn_rates(world)))
+    elif args.experiment == "table1":
+        print(rep.report_table1(ex.table1_dataset_stats(world)))
+    elif args.experiment == "fig5":
+        print(rep.report_fig5(ex.fig5_recharge_distribution(world)))
+    elif args.experiment == "fig7":
+        pipeline = ChurnPipeline(world, scale, categories=("F1",), model=model)
+        print(rep.report_fig7(ex.fig7_volume(pipeline), DEFAULT_PAPER_U))
+    elif args.experiment == "table2":
+        pipeline = ChurnPipeline(world, scale, categories=("F1",), model=model)
+        print(rep.report_table2(ex.table2_variety(pipeline)))
+    elif args.experiment == "table3":
+        pipeline = ChurnPipeline(world, scale, model=model)
+        print(rep.report_table3(ex.table3_overall(pipeline)))
+    elif args.experiment == "table4":
+        pipeline = ChurnPipeline(world, scale, model=model)
+        data = ex.table3_overall(pipeline)
+        print(rep.report_table4(table4_importance(data["result"])))
+    elif args.experiment == "table5":
+        pipeline = ChurnPipeline(world, scale, categories=("F1",), model=model)
+        print(rep.report_table5(ex.table5_velocity(pipeline)))
+    elif args.experiment == "table6":
+        pipeline = ChurnPipeline(world, scale, model=model)
+        print(rep.report_table6(ex.table6_value(pipeline)))
+    elif args.experiment == "fig8":
+        pipeline = ChurnPipeline(world, scale, categories=("F1",), model=model)
+        print(rep.report_fig8(ex.fig8_early_signals(pipeline)))
+    elif args.experiment == "table7":
+        print(rep.report_table7(ex.table7_imbalance(world, scale, model)))
+    elif args.experiment == "fig9":
+        print(rep.report_fig9(ex.fig9_classifiers(world, scale, model)))
+    elif args.experiment == "netopt":
+        from .core.netopt import run_network_optimization_study
+
+        report = run_network_optimization_study(
+            scale, model=model, seed=args.seed
+        )
+        print(report.render())
+    elif args.experiment == "monitor":
+        from .core.monitoring import ModelMonitor
+
+        pipeline = ChurnPipeline(world, scale, categories=("F1",), model=model)
+        ref_month, cur_month = 2, world.n_months
+        spec_ref = WindowSpec((ref_month - 1,), ref_month)
+        spec_cur = WindowSpec((cur_month - 1,), cur_month)
+        ref = pipeline.run_window(spec_ref)
+        cur = pipeline.run_window(spec_cur)
+        ref_block = pipeline.builder.features(ref_month, ("F1",))
+        cur_block = pipeline.builder.features(cur_month, ("F1",))
+        monitor = ModelMonitor(
+            list(ref_block.names),
+            ref_block.values[ref.test_slots],
+            reference_scores=ref.scores,
+            reference_churn_rate=float(ref.labels.mean()),
+            reference_label=f"month {ref_month}",
+        )
+        report = monitor.compare(
+            cur_block.values[cur.test_slots],
+            current_scores=cur.scores,
+            current_churn_rate=float(cur.labels.mean()),
+            current_label=f"month {cur_month}",
+        )
+        print(report.render())
+    elif args.experiment == "rootcause":
+        pipeline = ChurnPipeline(world, scale, model=model)
+        test_month = world.n_months - 1
+        spec = WindowSpec(
+            tuple(range(test_month - 2, test_month)), test_month
+        )
+        result = pipeline.run_window(spec, categories=ALL_CATEGORIES)
+        features = pipeline.builder.features(
+            test_month, ALL_CATEGORIES
+        ).values[result.test_slots]
+        analyzer = RootCauseAnalyzer(result, features)
+        print(report_root_causes(analyzer, args.top))
+    print(f"done in {time.time() - started:.0f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: churn prediction + retention as a closed loop.
+
+* :mod:`.labeling` — the 15-day recharge-grace churn rule (Section 5).
+* :mod:`.window` — the 4-month sliding-window protocol (Figure 6), with
+  velocity (day-stride) and early-signal (lead-time) variants.
+* :mod:`.pipeline` — end-to-end train/predict over the feature families.
+* :mod:`.predictor` — classifier facade (RF / GBDT / LR / FM) producing the
+  ranked potential-churner list.
+* :mod:`.retention` — campaign simulation, multi-class offer matching and
+  the closed feedback loop (Section 4.3 / Table 6).
+* :mod:`.rootcause` — per-churner cause attribution (the paper's stated
+  Section-6 extension).
+* :mod:`.monitoring` — PSI feature/score drift reports between retrains.
+* :mod:`.budget` — expected-profit campaign depth optimization.
+* :mod:`.netopt` — counterfactual network-optimization study (§5.3).
+* :mod:`.experiments` — one runner per table/figure of Section 5.
+* :mod:`.reporting` — paper-shaped text rendering of results.
+"""
+
+from .budget import CampaignEconomics, plan_campaign
+from .labeling import churn_labels, dataset_statistics, recharge_delay_histogram
+from .pipeline import ChurnPipeline, WindowResult
+from .predictor import ChurnPredictor
+from .retention import RetentionCampaign
+from .monitoring import ModelMonitor
+from .rootcause import RootCauseAnalyzer
+from .window import SlidingWindow, WindowSpec
+
+__all__ = [
+    "CampaignEconomics",
+    "ChurnPipeline",
+    "ChurnPredictor",
+    "ModelMonitor",
+    "RetentionCampaign",
+    "RootCauseAnalyzer",
+    "SlidingWindow",
+    "WindowResult",
+    "WindowSpec",
+    "churn_labels",
+    "dataset_statistics",
+    "plan_campaign",
+    "recharge_delay_histogram",
+]

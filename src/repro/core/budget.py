@@ -1,0 +1,144 @@
+"""Campaign economics: how deep into the ranked list to spend.
+
+The paper's stated goal for the closed loop is to "use a reasonable campaign
+cost to make the most profit", and its footnote notes campaigns are budget-
+limited.  This module turns calibrated churn probabilities into an expected
+profit curve over the ranked list and picks the optimal targeting depth:
+
+    E[profit of contacting customer i]
+        = p_churn(i) · p_retain · (CLV − offer_cost) − (1 − p_churn(i)) ·
+          deadweight − contact_cost
+
+where ``deadweight`` is the offer value wasted on customers who would have
+stayed anyway (the paper's group-A non-churners recharge regardless).
+Contacting customers in score order, profit first rises (high-probability
+churners are worth the offer), peaks, and then falls as the tail of the list
+fills with retained-anyway customers — exactly the economics behind the
+paper's choice of U = 50k–100k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class CampaignEconomics:
+    """Unit economics of one retention offer.
+
+    Values are in the same currency unit; defaults are shaped after the
+    paper's offers ("get 100 cashback on recharge of 100") against the
+    ~3× acquisition-to-retention cost ratio quoted in its introduction.
+    """
+
+    #: Net present value of keeping one subscriber (future margin).
+    customer_lifetime_value: float = 300.0
+    #: Cost of the offer when a targeted *churner* accepts it.
+    offer_cost: float = 100.0
+    #: Offer value wasted when a would-stay-anyway customer redeems it.
+    deadweight_cost: float = 50.0
+    #: Cost of contacting one customer (SMS/outbound call).
+    contact_cost: float = 1.0
+    #: P(accept | true churner, contacted) — the campaign's retention power.
+    retention_rate: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.customer_lifetime_value <= 0:
+            raise ExperimentError("customer_lifetime_value must be positive")
+        if not 0 < self.retention_rate <= 1:
+            raise ExperimentError("retention_rate must be in (0, 1]")
+        for name in ("offer_cost", "deadweight_cost", "contact_cost"):
+            if getattr(self, name) < 0:
+                raise ExperimentError(f"{name} must be >= 0")
+
+    def expected_profit(self, churn_probability: np.ndarray) -> np.ndarray:
+        """Per-customer expected profit of contacting, vectorized."""
+        p = np.asarray(churn_probability, dtype=np.float64)
+        if np.any((p < 0) | (p > 1)):
+            raise ExperimentError("churn probabilities must lie in [0, 1]")
+        gain = self.retention_rate * (
+            self.customer_lifetime_value - self.offer_cost
+        )
+        return p * gain - (1 - p) * self.deadweight_cost - self.contact_cost
+
+    @property
+    def breakeven_probability(self) -> float:
+        """Churn probability above which contacting has positive value."""
+        gain = self.retention_rate * (
+            self.customer_lifetime_value - self.offer_cost
+        )
+        denominator = gain + self.deadweight_cost
+        if denominator <= 0:
+            return 1.0
+        return min(
+            1.0, (self.deadweight_cost + self.contact_cost) / denominator
+        )
+
+
+@dataclass
+class CampaignPlan:
+    """Chosen targeting depth plus the full profit curve."""
+
+    order: np.ndarray
+    cumulative_profit: np.ndarray
+    optimal_depth: int
+    economics: CampaignEconomics
+
+    @property
+    def targeted_rows(self) -> np.ndarray:
+        """Row indices to contact, best first."""
+        return self.order[: self.optimal_depth]
+
+    @property
+    def expected_profit(self) -> float:
+        if self.optimal_depth == 0:
+            return 0.0
+        return float(self.cumulative_profit[self.optimal_depth - 1])
+
+    def render(self, marks: tuple[int, ...] = ()) -> str:
+        lines = [
+            "Campaign plan",
+            f"  breakeven churn probability: "
+            f"{self.economics.breakeven_probability:.3f}",
+            f"  optimal depth: {self.optimal_depth} of {len(self.order)} "
+            f"customers",
+            f"  expected profit at optimum: {self.expected_profit:,.0f}",
+        ]
+        for mark in marks:
+            if 1 <= mark <= len(self.cumulative_profit):
+                lines.append(
+                    f"  profit at depth {mark}: "
+                    f"{self.cumulative_profit[mark - 1]:,.0f}"
+                )
+        return "\n".join(lines)
+
+
+def plan_campaign(
+    churn_probability: np.ndarray,
+    economics: CampaignEconomics | None = None,
+) -> CampaignPlan:
+    """Rank by churn probability and cut the list where profit peaks.
+
+    ``churn_probability`` should be *calibrated* (see
+    :mod:`repro.ml.calibration`) — raw ensemble vote scores overstate tail
+    probabilities and push the cutoff too deep.
+    """
+    economics = economics if economics is not None else CampaignEconomics()
+    p = np.asarray(churn_probability, dtype=np.float64)
+    if p.ndim != 1 or len(p) == 0:
+        raise ExperimentError("need a non-empty 1-D probability vector")
+    order = np.argsort(-p, kind="mergesort")
+    per_customer = economics.expected_profit(p[order])
+    cumulative = np.cumsum(per_customer)
+    best = int(np.argmax(cumulative))
+    optimal_depth = best + 1 if cumulative[best] > 0 else 0
+    return CampaignPlan(
+        order=order,
+        cumulative_profit=cumulative,
+        optimal_depth=optimal_depth,
+        economics=economics,
+    )

@@ -1,0 +1,206 @@
+"""Production monitoring for the deployed churn system.
+
+The paper's platform retrains monthly and serves campaign lists
+continuously; a deployment like that lives or dies on monitoring.  This
+module implements the standard checks an operator runs between retrains:
+
+* **feature drift** — population stability index (PSI) of every feature
+  between a reference month and the current month;
+* **score drift** — PSI of the model's churn-likelihood distribution;
+* **label-rate drift** — the realized churn rate against the training
+  baseline;
+* a combined :class:`ModelMonitor` that renders one operator report and
+  raises tiered alerts (the conventional PSI bands: <0.1 stable,
+  0.1-0.25 drifting, >0.25 shifted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+#: Conventional PSI alert bands.
+PSI_WATCH = 0.1
+PSI_ALERT = 0.25
+
+
+def population_stability_index(
+    reference: np.ndarray,
+    current: np.ndarray,
+    n_bins: int = 10,
+) -> float:
+    """PSI between two samples of one feature.
+
+    Bins are deciles of the *reference* sample; both distributions are
+    smoothed so empty bins never produce infinities.
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    current = np.asarray(current, dtype=np.float64)
+    if len(reference) == 0 or len(current) == 0:
+        raise ExperimentError("PSI requires non-empty samples")
+    if n_bins < 2:
+        raise ExperimentError(f"n_bins must be >= 2, got {n_bins}")
+    if reference.max() == reference.min():
+        # Constant reference feature: any change at all is a full shift.
+        return 0.0 if np.all(current == reference[0]) else float("inf")
+    quantiles = np.linspace(0, 1, n_bins + 1)[1:-1]
+    edges = np.unique(np.quantile(reference, quantiles))
+    ref_counts = np.bincount(
+        np.searchsorted(edges, reference, side="right"), minlength=len(edges) + 1
+    ).astype(np.float64)
+    cur_counts = np.bincount(
+        np.searchsorted(edges, current, side="right"), minlength=len(edges) + 1
+    ).astype(np.float64)
+    ref_frac = (ref_counts + 0.5) / (ref_counts.sum() + 0.5 * len(ref_counts))
+    cur_frac = (cur_counts + 0.5) / (cur_counts.sum() + 0.5 * len(cur_counts))
+    return float(np.sum((cur_frac - ref_frac) * np.log(cur_frac / ref_frac)))
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One monitored quantity and its drift level."""
+
+    name: str
+    psi: float
+
+    @property
+    def level(self) -> str:
+        if self.psi >= PSI_ALERT:
+            return "ALERT"
+        if self.psi >= PSI_WATCH:
+            return "watch"
+        return "ok"
+
+
+@dataclass
+class MonitoringReport:
+    """Everything the operator sees between retrains."""
+
+    reference_label: str
+    current_label: str
+    feature_findings: list[DriftFinding]
+    score_finding: DriftFinding | None
+    reference_churn_rate: float
+    current_churn_rate: float
+
+    @property
+    def worst_features(self) -> list[DriftFinding]:
+        return sorted(self.feature_findings, key=lambda f: -f.psi)
+
+    @property
+    def alerts(self) -> list[DriftFinding]:
+        out = [f for f in self.feature_findings if f.level == "ALERT"]
+        if self.score_finding is not None and self.score_finding.level == "ALERT":
+            out.append(self.score_finding)
+        return out
+
+    @property
+    def healthy(self) -> bool:
+        return not self.alerts
+
+    def render(self, top: int = 10) -> str:
+        lines = [
+            f"Model monitoring: {self.reference_label} -> {self.current_label}",
+            f"  churn rate: {self.reference_churn_rate:.2%} -> "
+            f"{self.current_churn_rate:.2%}",
+        ]
+        if self.score_finding is not None:
+            lines.append(
+                f"  score drift: PSI={self.score_finding.psi:.4f} "
+                f"[{self.score_finding.level}]"
+            )
+        lines.append(f"  top drifting features (of {len(self.feature_findings)}):")
+        for finding in self.worst_features[:top]:
+            lines.append(
+                f"    {finding.name:<40} PSI={finding.psi:.4f} [{finding.level}]"
+            )
+        lines.append(
+            "  status: " + ("HEALTHY" if self.healthy else
+                            f"{len(self.alerts)} ALERT(S) — retrain/investigate")
+        )
+        return "\n".join(lines)
+
+
+class ModelMonitor:
+    """Compares a reference (training) month against a serving month.
+
+    Parameters
+    ----------
+    feature_names:
+        Column labels for the drift table.
+    reference_features:
+        (n, d) matrix from the month the model was trained on.
+    reference_scores:
+        Model scores on the reference month (optional).
+    reference_churn_rate:
+        Realized churn rate of the reference month.
+    """
+
+    def __init__(
+        self,
+        feature_names: list[str],
+        reference_features: np.ndarray,
+        reference_scores: np.ndarray | None = None,
+        reference_churn_rate: float = 0.0,
+        reference_label: str = "reference",
+    ) -> None:
+        reference_features = np.asarray(reference_features, dtype=np.float64)
+        if reference_features.ndim != 2:
+            raise ExperimentError("reference features must be a 2-D matrix")
+        if reference_features.shape[1] != len(feature_names):
+            raise ExperimentError(
+                f"{reference_features.shape[1]} columns for "
+                f"{len(feature_names)} names"
+            )
+        self._names = list(feature_names)
+        self._reference = reference_features
+        self._reference_scores = (
+            None
+            if reference_scores is None
+            else np.asarray(reference_scores, dtype=np.float64)
+        )
+        self._reference_rate = reference_churn_rate
+        self._reference_label = reference_label
+
+    def compare(
+        self,
+        current_features: np.ndarray,
+        current_scores: np.ndarray | None = None,
+        current_churn_rate: float = 0.0,
+        current_label: str = "current",
+    ) -> MonitoringReport:
+        """Drift report for a serving month."""
+        current_features = np.asarray(current_features, dtype=np.float64)
+        if current_features.shape[1] != len(self._names):
+            raise ExperimentError(
+                f"current has {current_features.shape[1]} columns, "
+                f"expected {len(self._names)}"
+            )
+        findings = [
+            DriftFinding(
+                name,
+                population_stability_index(
+                    self._reference[:, j], current_features[:, j]
+                ),
+            )
+            for j, name in enumerate(self._names)
+        ]
+        score_finding = None
+        if self._reference_scores is not None and current_scores is not None:
+            score_finding = DriftFinding(
+                "model_score",
+                population_stability_index(
+                    self._reference_scores, np.asarray(current_scores)
+                ),
+            )
+        return MonitoringReport(
+            reference_label=self._reference_label,
+            current_label=current_label,
+            feature_findings=findings,
+            score_finding=score_finding,
+            reference_churn_rate=self._reference_rate,
+            current_churn_rate=current_churn_rate,
+        )

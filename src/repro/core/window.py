@@ -1,0 +1,112 @@
+"""Sliding-window experiment protocol (Figure 6).
+
+One window: label features of month ``N−1`` with the churn outcomes of month
+``N``, train; score features of month ``N``; evaluate against the churners
+of month ``N+1``.  Variants:
+
+* **volume** — accumulate more labeled months backwards;
+* **early signals** — widen the gap between features and label month
+  (``lead`` > 1);
+* **velocity** — slide by day strides instead of whole months (handled in
+  :mod:`.pipeline` with day-windowed fast features).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datagen.simulator import TelcoWorld
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One train/test window.
+
+    ``train_months`` are *feature* months; each is labeled by churn
+    ``lead`` months later.  ``test_month``'s features predict churners
+    ``lead`` months after it.
+    """
+
+    train_months: tuple[int, ...]
+    test_month: int
+    lead: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.train_months:
+            raise ExperimentError("a window needs at least one training month")
+        if self.lead < 1:
+            raise ExperimentError(f"lead must be >= 1, got {self.lead}")
+        if self.test_month in self.train_months:
+            raise ExperimentError(
+                f"test month {self.test_month} overlaps training months"
+            )
+
+    @property
+    def label_month(self) -> int:
+        """The month whose churners the test predictions are scored on."""
+        return self.test_month + self.lead
+
+
+class SlidingWindow:
+    """Enumerates valid windows over a world."""
+
+    def __init__(self, world: TelcoWorld) -> None:
+        self._world = world
+
+    def windows(
+        self,
+        n_train_months: int = 1,
+        lead: int = 1,
+        test_months: list[int] | None = None,
+    ) -> list[WindowSpec]:
+        """All windows whose months fit the simulated range.
+
+        A window with test month ``P`` trains on feature months
+        ``P−1, P−2, …`` (each labeled ``lead`` months later); the label of
+        the last training month must be observable before ``P``'s
+        prediction is made, and ``P + lead`` must lie within the world's
+        labeled range.
+        """
+        if n_train_months < 1:
+            raise ExperimentError(
+                f"n_train_months must be >= 1, got {n_train_months}"
+            )
+        m = self._world.n_months
+        out = []
+        candidates = (
+            test_months
+            if test_months is not None
+            else list(range(1, m + 1))
+        )
+        for p in candidates:
+            train = tuple(range(p - n_train_months - lead + 1, p - lead + 1))
+            if train[0] < 1:
+                continue
+            # Labels exist for feature month t when t + lead <= m + 1
+            # (month m+1 outcomes come from the final recharge table).
+            if p + lead > m + 1:
+                continue
+            out.append(WindowSpec(train, p, lead))
+        if not out:
+            raise ExperimentError(
+                f"no valid windows: months={m}, "
+                f"n_train={n_train_months}, lead={lead}, tests={test_months}"
+            )
+        return out
+
+    def eligible_mask(self, spec: WindowSpec, month: int) -> np.ndarray:
+        """Slots usable in ``month`` under the window's lead.
+
+        The slot must be active (not in its churn month) and must not churn
+        in the gap months — otherwise the occupant scored at ``month`` is
+        not the one whose churn at ``month + lead`` would be predicted.
+        """
+        world = self._world
+        mask = world.month(month).eligible.copy()
+        for gap in range(month, month + spec.lead - 1):
+            if gap <= world.n_months:
+                mask &= ~world.month(gap).churn_next
+        return mask

@@ -1,0 +1,24 @@
+"""Synthetic telco world.
+
+The paper's experiments run on 9 months of production BSS/OSS data from ~2.1M
+prepaid customers, which we cannot have.  This package generates a synthetic
+population whose *observable tables* (CDR, billing, recharge, complaint text,
+CS/PS KPIs, trajectories, social graphs) and *churn outcomes* are driven by
+shared latent factors, so that every feature family of Section 4.1 carries
+the same relative amount of churn signal as in the paper (Table 2 ordering).
+
+Main entry point: :class:`~repro.datagen.simulator.TelcoSimulator`, which
+yields one :class:`~repro.datagen.simulator.MonthData` per simulated month
+and loads raw tables into a platform catalog.
+"""
+
+from .population import CustomerPopulation
+from .simulator import MonthData, SignalWeights, TelcoSimulator, TelcoWorld
+
+__all__ = [
+    "CustomerPopulation",
+    "MonthData",
+    "SignalWeights",
+    "TelcoSimulator",
+    "TelcoWorld",
+]

@@ -1,0 +1,139 @@
+"""Retention-offer acceptance model (Table 6 substrate).
+
+Section 5.5's four prepaid recharge offers, plus the latent per-customer
+affinity drawn in :mod:`.population`:
+
+=====  =======================================  ===========
+class  offer                                    affinity
+=====  =======================================  ===========
+0      (refuses every offer)                    35% of base
+1      100 cashback on recharge of 100          financially tight
+2      50 cashback on recharge of 100           remainder
+3      500 MB flux on recharge of 50            heavy data users
+4      200-minute voice on recharge of 50       heavy voice users
+=====  =======================================  ===========
+
+A customer offered the *matching* offer accepts with high probability; the
+wrong offer is mostly ignored.  Non-churners targeted by mistake recharge
+anyway with their natural probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Human-readable offer catalogue (index = offer id; 0 = no offer matches).
+OFFER_CATALOG = (
+    "no-offer-accepted",
+    "100 cashback on recharge of 100",
+    "50 cashback on recharge of 100",
+    "500MB flux on recharge of 50",
+    "200-minute voice call on recharge of 50",
+)
+
+N_OFFERS = len(OFFER_CATALOG) - 1
+
+
+@dataclass(frozen=True)
+class AcceptanceModel:
+    """Probabilities governing campaign outcomes."""
+
+    #: P(accept | offered the matching offer, affinity != 0).
+    match_accept: float = 0.85
+    #: P(accept | offered a non-matching offer, affinity != 0).
+    mismatch_accept: float = 0.08
+    #: P(accept | affinity == 0) for any offer.
+    refuser_accept: float = 0.01
+    #: P(a *non-churner* in the target list recharges regardless of offers).
+    nonchurner_recharge: float = 0.85
+    #: P(a true churner recharges with no offer at all) — near zero by the
+    #: labeling rule (they would not be churners otherwise).
+    churner_natural_recharge: float = 0.015
+
+    def __post_init__(self) -> None:
+        for name in (
+            "match_accept",
+            "mismatch_accept",
+            "refuser_accept",
+            "nonchurner_recharge",
+            "churner_natural_recharge",
+        ):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise SimulationError(f"{name} must be a probability, got {value}")
+
+
+def simulate_campaign(
+    offer_class: np.ndarray,
+    is_churner: np.ndarray,
+    offered: np.ndarray,
+    rng: np.random.Generator,
+    model: AcceptanceModel | None = None,
+) -> np.ndarray:
+    """Outcome of one campaign wave.
+
+    Parameters
+    ----------
+    offer_class:
+        Latent affinity per targeted customer (0 = refuses all).
+    is_churner:
+        True churn label per targeted customer.
+    offered:
+        Offer id sent to each customer, in ``1..N_OFFERS``; 0 = no offer
+        (the customer is in the control group A).
+    rng:
+        Randomness source.
+
+    Returns
+    -------
+    Boolean array: recharged during the campaign window.
+    """
+    model = model if model is not None else AcceptanceModel()
+    offer_class = np.asarray(offer_class, dtype=np.int64)
+    is_churner = np.asarray(is_churner, dtype=bool)
+    offered = np.asarray(offered, dtype=np.int64)
+    if not (len(offer_class) == len(is_churner) == len(offered)):
+        raise SimulationError("campaign arrays must share one length")
+    if offered.min() < 0 or offered.max() > N_OFFERS:
+        raise SimulationError(f"offer ids must be in 0..{N_OFFERS}")
+
+    n = len(offered)
+    p = np.zeros(n)
+    # Non-churners mostly recharge regardless of campaign treatment.
+    p[~is_churner] = model.nonchurner_recharge
+    churners = is_churner
+    control = offered == 0
+    p[churners & control] = model.churner_natural_recharge
+    treated = churners & ~control
+    refusers = treated & (offer_class == 0)
+    matched = treated & (offer_class == offered) & (offer_class != 0)
+    mismatched = treated & ~refusers & ~matched
+    p[refusers] = model.refuser_accept
+    p[matched] = model.match_accept
+    p[mismatched] = model.mismatch_accept
+    return rng.random(n) < p
+
+
+def expert_assignment(
+    voice_hint: np.ndarray,
+    data_hint: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Month-8 style assignment: domain-knowledge rules of thumb.
+
+    Operator experts skew offers toward observed usage but, per the paper,
+    the results "are not satisfactory" — the rules are noisy and ignore
+    financial need entirely, so treat this as a strong-ish random baseline.
+    """
+    n = len(voice_hint)
+    offers = rng.integers(1, N_OFFERS + 1, size=n)
+    heavy_data = data_hint > np.quantile(data_hint, 0.7)
+    heavy_voice = (~heavy_data) & (voice_hint > np.quantile(voice_hint, 0.7))
+    keep_rule = rng.random(n) < 0.5
+    offers[heavy_data & keep_rule] = 3
+    offers[heavy_voice & keep_rule] = 4
+    return offers

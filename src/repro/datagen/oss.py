@@ -1,0 +1,137 @@
+"""OSS table emitters: CS KPI/KQI, PS KPI/KQI, MR trajectories.
+
+Section 4.1.1 of the paper lists 9 CS voice-quality indicators and 15 PS
+data-service indicators plus the customer's 5 most frequent locations.  The
+emitters below derive every indicator from the simulator's latent service
+quality ``q_cs`` / ``q_ps`` (each in (0, 1), higher = better) plus activity
+levels, with indicator-specific noise — so the KPI columns are correlated
+reflections of quality, not copies of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataplat.table import Table
+
+
+def cs_kpi_table(
+    imsi: np.ndarray,
+    q_cs: np.ndarray,
+    voice_usage: np.ndarray,
+    rng: np.random.Generator,
+) -> Table:
+    """The 9 CS voice KPI/KQI features of Section 4.1.1."""
+    n = len(imsi)
+
+    def jitter(spread: float) -> np.ndarray:
+        return rng.normal(0, spread, size=n)
+
+    call_succ = np.clip(0.90 + 0.09 * q_cs + jitter(0.015), 0.5, 1.0)
+    drop_rate = np.clip(0.06 * (1 - q_cs) + jitter(0.006), 0.0, 0.3)
+    conn_delay = np.clip(2.0 + 4.0 * (1 - q_cs) + jitter(0.4), 0.5, 12.0)
+    mos_ul = np.clip(2.8 + 1.8 * q_cs + jitter(0.18), 1.0, 5.0)
+    mos_dl = np.clip(2.9 + 1.8 * q_cs + jitter(0.18), 1.0, 5.0)
+    ip_mos = np.clip(3.0 + 1.6 * q_cs + jitter(0.2), 1.0, 5.0)
+    activity = np.maximum(voice_usage, 0.05)
+    oneway = rng.poisson(np.maximum(2.5 * (1 - q_cs) * activity, 0.0))
+    noise_cnt = rng.poisson(np.maximum(2.0 * (1 - q_cs) * activity, 0.0))
+    echo_cnt = rng.poisson(np.maximum(1.0 * (1 - q_cs) * activity, 0.0))
+    return Table.from_arrays(
+        imsi=imsi,
+        perceived_call_success_rate=call_succ,
+        e2e_conn_delay=conn_delay,
+        perceived_call_drop_rate=drop_rate,
+        voice_quality_mos_ul=mos_ul,
+        voice_quality_mos_dl=mos_dl,
+        voice_quality_ip_mos=ip_mos,
+        oneway_audio_cnt=oneway.astype(np.int64),
+        noise_cnt=noise_cnt.astype(np.int64),
+        echo_cnt=echo_cnt.astype(np.int64),
+    )
+
+
+def ps_kpi_table(
+    imsi: np.ndarray,
+    q_ps: np.ndarray,
+    data_usage: np.ndarray,
+    rng: np.random.Generator,
+) -> Table:
+    """The 15 PS data-service KPI/KQI features of Section 4.1.1.
+
+    Throughput indicators also scale with the customer's data *activity*,
+    reproducing the paper's observation that ``page_download_throughput``
+    shrinks for churners "since churners often become inactive in data
+    usage" — the column mixes network quality with engagement.
+    """
+    n = len(imsi)
+
+    def jitter(spread: float) -> np.ndarray:
+        return rng.normal(0, spread, size=n)
+
+    activity = np.clip(
+        data_usage / max(float(np.median(data_usage)), 1e-9), 0.05, 4.0
+    ) ** 0.35
+    page_resp_succ = np.clip(0.88 + 0.11 * q_ps + jitter(0.02), 0.4, 1.0)
+    page_resp_delay = np.clip(0.8 + 3.5 * (1 - q_ps) + jitter(0.3), 0.2, 10.0)
+    page_browse_succ = np.clip(0.85 + 0.14 * q_ps + jitter(0.02), 0.4, 1.0)
+    page_browse_delay = np.clip(1.5 + 5.0 * (1 - q_ps) + jitter(0.5), 0.3, 15.0)
+    throughput = np.maximum(
+        (600.0 + 2400.0 * q_ps) * activity * np.exp(jitter(0.12)),
+        10.0,
+    )
+    return Table.from_arrays(
+        imsi=imsi,
+        page_response_success_rate=page_resp_succ,
+        page_response_delay=page_resp_delay,
+        page_browsing_success_rate=page_browse_succ,
+        page_browsing_delay=page_browse_delay,
+        page_download_throughput=throughput,
+        stream_success_rate=np.clip(0.9 + 0.09 * q_ps + jitter(0.02), 0.4, 1.0),
+        stream_start_delay=np.clip(1.0 + 4.0 * (1 - q_ps) + jitter(0.4), 0.2, 12.0),
+        stream_throughput=np.maximum(
+            (400.0 + 1800.0 * q_ps) * activity * np.exp(jitter(0.12)),
+            10.0,
+        ),
+        email_success_rate=np.clip(0.92 + 0.07 * q_ps + jitter(0.02), 0.4, 1.0),
+        email_delay=np.clip(0.6 + 2.0 * (1 - q_ps) + jitter(0.25), 0.1, 8.0),
+        l4_ul_throughput=np.maximum(
+            (200.0 + 900.0 * q_ps) * activity * np.exp(jitter(0.15)), 5.0
+        ),
+        l4_dw_throughput=np.maximum(
+            (700.0 + 2600.0 * q_ps) * activity * np.exp(jitter(0.15)),
+            10.0,
+        ),
+        tcp_rtt=np.clip(40.0 + 180.0 * (1 - q_ps) + jitter(15.0), 5.0, 500.0),
+        tcp_conn_success_rate=np.clip(0.93 + 0.06 * q_ps + jitter(0.015), 0.5, 1.0),
+        pagesize_avg=np.maximum(300.0 + jitter(60.0), 20.0),
+    )
+
+
+def mr_locations_table(
+    imsi: np.ndarray,
+    location_cluster: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+) -> Table:
+    """Top-5 most frequent stay locations (lat/lon) from MR data.
+
+    Cluster centroids sit on a jittered grid; a customer's five locations
+    scatter around their home cluster's centroid.  Geography is only weakly
+    churn-informative on its own — its real role is that co-location drives
+    the co-occurrence graph.
+    """
+    n = len(imsi)
+    grid = int(np.ceil(np.sqrt(n_clusters)))
+    centroids_lat = 31.0 + (np.arange(n_clusters) // grid) * 0.02
+    centroids_lon = 121.0 + (np.arange(n_clusters) % grid) * 0.02
+    columns: dict[str, np.ndarray] = {"imsi": imsi}
+    for rank in range(1, 6):
+        spread = 0.002 * rank
+        columns[f"lat_{rank}"] = (
+            centroids_lat[location_cluster] + rng.normal(0, spread, size=n)
+        )
+        columns[f"lon_{rank}"] = (
+            centroids_lon[location_cluster] + rng.normal(0, spread, size=n)
+        )
+    return Table.from_arrays(**columns)

@@ -1,0 +1,146 @@
+"""Customer population with rebirth.
+
+Table 1 of the paper shows a *dynamic balance*: each month roughly as many
+new prepaid customers join as churn, keeping the population nearly constant.
+We model that with **slots**: the population is a fixed array of slots, each
+occupied by one customer at a time.  When the occupant churns, the slot is
+reborn as a brand-new customer (fresh demographics, tenure reset, new IMSI),
+who inherits the slot's position in the social graphs (they move into the
+same community — dorm, workplace, town).
+
+All attributes are dense numpy arrays indexed by slot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Number of distinct towns / selling areas / products in the synthetic world.
+N_TOWNS = 24
+N_SALES_AREAS = 12
+N_PRODUCTS = 8
+
+
+class CustomerPopulation:
+    """Slot-indexed customer attributes with rebirth.
+
+    Parameters
+    ----------
+    size:
+        Number of slots (constant active population).
+    rng:
+        Source of randomness.
+    """
+
+    def __init__(self, size: int, rng: np.random.Generator) -> None:
+        if size < 1:
+            raise SimulationError(f"population size must be >= 1, got {size}")
+        self.size = size
+        self._rng = rng
+        self._generation = np.zeros(size, dtype=np.int64)
+        # IMSI = slot * 1000 + generation, unique per customer lifetime.
+        self.age = np.zeros(size, dtype=np.int64)
+        self.gender = np.zeros(size, dtype=np.int64)
+        self.town_id = np.zeros(size, dtype=np.int64)
+        self.sale_id = np.zeros(size, dtype=np.int64)
+        self.pspt_type = np.zeros(size, dtype=np.int64)
+        self.is_shanghai = np.zeros(size, dtype=np.int64)
+        self.product_id = np.zeros(size, dtype=np.int64)
+        self.product_price = np.zeros(size, dtype=np.float64)
+        self.product_knd = np.zeros(size, dtype=np.int64)
+        self.credit_value = np.zeros(size, dtype=np.float64)
+        self.innet_months = np.zeros(size, dtype=np.int64)
+        self.vip = np.zeros(size, dtype=np.int64)
+        # Stable usage propensities (scale of a customer's typical behavior).
+        self.voice_level = np.zeros(size, dtype=np.float64)
+        self.data_level = np.zeros(size, dtype=np.float64)
+        self.sms_level = np.zeros(size, dtype=np.float64)
+        # Latent retention-offer affinity class (0 = refuses all offers).
+        self.offer_class = np.zeros(size, dtype=np.int64)
+        self._spawn(np.arange(size))
+        # Existing customers start with realistic tenures.
+        self.innet_months = rng.integers(1, 96, size=size)
+
+    @property
+    def imsi(self) -> np.ndarray:
+        """Unique customer ids for the current occupants."""
+        return np.arange(self.size) * 1000 + self._generation
+
+    def slots_of(self, imsi: np.ndarray) -> np.ndarray:
+        """Map IMSIs back to slot indices."""
+        return np.asarray(imsi, dtype=np.int64) // 1000
+
+    def rebirth(self, slots: np.ndarray) -> None:
+        """Replace churned occupants with brand-new customers."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if len(slots) == 0:
+            return
+        self._generation[slots] += 1
+        self._spawn(slots)
+
+    def age_one_month(self) -> None:
+        """Advance every occupant's tenure by a month."""
+        self.innet_months += 1
+
+    def _spawn(self, slots: np.ndarray) -> None:
+        rng = self._rng
+        k = len(slots)
+        self.age[slots] = np.clip(
+            rng.normal(33, 12, size=k).astype(np.int64), 16, 80
+        )
+        self.gender[slots] = rng.integers(0, 2, size=k)
+        self.town_id[slots] = rng.integers(0, N_TOWNS, size=k)
+        self.sale_id[slots] = rng.integers(0, N_SALES_AREAS, size=k)
+        self.pspt_type[slots] = rng.choice(
+            [0, 1, 2], size=k, p=[0.85, 0.10, 0.05]
+        )
+        self.is_shanghai[slots] = (rng.random(k) < 0.3).astype(np.int64)
+        self.product_id[slots] = rng.integers(0, N_PRODUCTS, size=k)
+        self.product_price[slots] = 20.0 + 15.0 * self.product_id[slots] + rng.normal(
+            0, 3, size=k
+        )
+        self.product_knd[slots] = self.product_id[slots] % 3
+        self.credit_value[slots] = np.clip(rng.normal(60, 20, size=k), 0, 100)
+        self.innet_months[slots] = 1
+        self.vip[slots] = (rng.random(k) < 0.05).astype(np.int64)
+        self.voice_level[slots] = np.exp(rng.normal(0.0, 0.5, size=k))
+        self.data_level[slots] = np.exp(rng.normal(0.0, 0.6, size=k))
+        self.sms_level[slots] = np.exp(rng.normal(-0.5, 0.6, size=k))
+        self.offer_class[slots] = self._draw_offer_class(slots)
+
+    def _draw_offer_class(self, slots: np.ndarray) -> np.ndarray:
+        """Latent retention-offer affinity.
+
+        Correlated with observable behavior so a retention classifier can
+        beat random offer assignment (Table 6, month 9):
+
+        * heavy data users want flux top-ups (class 3),
+        * heavy voice users want free minutes (class 4),
+        * financially tight customers want full cashback (class 1),
+        * the remainder split between partial cashback (class 2) and
+          "refuses everything" (class 0).
+        """
+        rng = self._rng
+        k = len(slots)
+        data = self.data_level[slots]
+        voice = self.voice_level[slots]
+        credit = self.credit_value[slots]
+        cls = np.zeros(k, dtype=np.int64)
+        roll = rng.random(k)
+        refuses = roll < 0.35
+        wants_flux = (~refuses) & (data > np.maximum(voice, 1.0))
+        wants_voice = (~refuses) & (~wants_flux) & (voice > 1.0)
+        wants_full_cash = (
+            (~refuses) & (~wants_flux) & (~wants_voice) & (credit < 55)
+        )
+        cls[wants_flux] = 3
+        cls[wants_voice] = 4
+        cls[wants_full_cash] = 1
+        rest = (~refuses) & (cls == 0)
+        cls[rest] = 2
+        # Blur the mapping so it is predictable but not deterministic.
+        noise = rng.random(k) < 0.12
+        cls[noise] = rng.integers(0, 5, size=int(noise.sum()))
+        return cls

@@ -1,0 +1,172 @@
+"""Social graph generation (Section 4.1.2 substrate).
+
+Three undirected weighted graphs over customer slots:
+
+* **call graph** — who calls whom; community structure (town-level circles)
+  with weights = accumulated mutual call minutes;
+* **message graph** — a sparse subset of call edges (the paper observes SMS
+  has nearly died to OTT apps) with message counts as weights;
+* **co-occurrence graph** — who shares a spatiotemporal cube with whom;
+  built from *location clusters* (dorms, office blocks), denser and more
+  cliquish than the call graph.
+
+Graphs are attached to slots, not customers: a reborn customer moves into
+the same community (same dorm/office), which is what keeps co-occurrence
+contagion meaningful across rebirths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SocialGraph:
+    """Edge list plus weights over ``n_nodes`` slots."""
+
+    name: str
+    edges: np.ndarray  # (m, 2) int64
+    weights: np.ndarray  # (m,) float64
+    n_nodes: int
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def neighbor_structure(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR-ish (indptr, neighbors, weights) for exposure computation."""
+        n = self.n_nodes
+        degree = np.zeros(n, dtype=np.int64)
+        np.add.at(degree, self.edges[:, 0], 1)
+        np.add.at(degree, self.edges[:, 1], 1)
+        indptr = np.concatenate([[0], np.cumsum(degree)])
+        neighbors = np.zeros(indptr[-1], dtype=np.int64)
+        weights = np.zeros(indptr[-1], dtype=np.float64)
+        cursor = indptr[:-1].copy()
+        for (a, b), w in zip(self.edges.tolist(), self.weights.tolist()):
+            neighbors[cursor[a]] = b
+            weights[cursor[a]] = w
+            cursor[a] += 1
+            neighbors[cursor[b]] = a
+            weights[cursor[b]] = w
+            cursor[b] += 1
+        return indptr, neighbors, weights
+
+
+def _community_edges(
+    labels: np.ndarray,
+    mean_degree: float,
+    cross_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Random intra-community edges plus a sprinkle of cross edges."""
+    n = len(labels)
+    target_edges = int(n * mean_degree / 2)
+    order = np.argsort(labels, kind="mergesort")
+    sorted_labels = labels[order]
+    boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
+    groups = np.split(order, boundaries)
+    edges: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    # Allocate intra-community edges proportionally to group size.
+    intra_budget = int(target_edges * (1 - cross_fraction))
+    total = sum(len(g) for g in groups if len(g) > 1)
+    for group in groups:
+        if len(group) < 2:
+            continue
+        share = max(1, int(round(intra_budget * len(group) / max(total, 1))))
+        a = rng.choice(group, size=share)
+        b = rng.choice(group, size=share)
+        for u, v in zip(a.tolist(), b.tolist()):
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key not in seen:
+                seen.add(key)
+                edges.append(key)
+    cross_budget = target_edges - len(edges)
+    if cross_budget > 0:
+        a = rng.integers(0, n, size=cross_budget * 2)
+        b = rng.integers(0, n, size=cross_budget * 2)
+        for u, v in zip(a.tolist(), b.tolist()):
+            if u == v or len(edges) >= target_edges:
+                continue
+            key = (min(u, v), max(u, v))
+            if key not in seen:
+                seen.add(key)
+                edges.append(key)
+    return np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+
+
+def build_graphs(
+    n_slots: int,
+    town_id: np.ndarray,
+    rng: np.random.Generator,
+    community_size: int = 40,
+    cluster_size: int = 15,
+) -> tuple[dict[str, SocialGraph], np.ndarray]:
+    """Build the three graphs; returns them plus the location-cluster labels.
+
+    ``location_cluster`` (the second return) also drives the MR trajectory
+    features and the co-occurrence contagion in the simulator.
+    """
+    if n_slots < 2:
+        raise SimulationError(f"need at least 2 slots, got {n_slots}")
+    # Call circles: nested inside towns, ~community_size people each.
+    n_communities = max(1, n_slots // community_size)
+    call_community = (
+        town_id * n_communities + rng.integers(0, n_communities, size=n_slots)
+    )
+    _, call_community = np.unique(call_community, return_inverse=True)
+    call_edges = _community_edges(call_community, 8.0, 0.10, rng)
+    call_weights = np.exp(rng.normal(3.0, 0.8, size=len(call_edges)))
+
+    # Message graph: a sparse subset of call edges ("everyone uses OTT").
+    keep = rng.random(len(call_edges)) < 0.35
+    msg_edges = call_edges[keep]
+    msg_weights = np.maximum(rng.poisson(4, size=len(msg_edges)), 1).astype(
+        np.float64
+    )
+
+    # Location clusters (dorm/office): tighter groups, denser edges.
+    n_clusters = max(1, n_slots // cluster_size)
+    location_cluster = rng.integers(0, n_clusters, size=n_slots)
+    cooc_edges = _community_edges(location_cluster, 10.0, 0.03, rng)
+    cooc_weights = np.exp(rng.normal(2.0, 0.5, size=len(cooc_edges)))
+
+    graphs = {
+        "call": SocialGraph("call", call_edges, call_weights, n_slots),
+        "message": SocialGraph("message", msg_edges, msg_weights, n_slots),
+        "cooccurrence": SocialGraph(
+            "cooccurrence", cooc_edges, cooc_weights, n_slots
+        ),
+    }
+    return graphs, location_cluster
+
+
+def exposure(
+    graph: SocialGraph, churned: np.ndarray
+) -> np.ndarray:
+    """Weighted fraction of each node's neighbours who churned.
+
+    This is the contagion signal: ``sum_n w_mn churned_n / sum_n w_mn``.
+    Nodes without neighbours get 0.
+    """
+    churned = np.asarray(churned, dtype=np.float64)
+    if len(churned) != graph.n_nodes:
+        raise SimulationError(
+            f"churned has {len(churned)} entries for {graph.n_nodes} nodes"
+        )
+    hit = np.zeros(graph.n_nodes)
+    total = np.zeros(graph.n_nodes)
+    a = graph.edges[:, 0]
+    b = graph.edges[:, 1]
+    np.add.at(hit, a, graph.weights * churned[b])
+    np.add.at(hit, b, graph.weights * churned[a])
+    np.add.at(total, a, graph.weights)
+    np.add.at(total, b, graph.weights)
+    return np.divide(hit, np.maximum(total, 1e-12))

@@ -1,0 +1,37 @@
+"""Mini big-data platform: the substrate the churn system runs on.
+
+The paper stores raw BSS/OSS tables in HDFS and does feature engineering with
+Hive / Spark SQL.  This package is a faithful single-process analogue:
+
+* :mod:`repro.dataplat.blockstore` — a mini-HDFS (namenode metadata plus
+  block storage with replication accounting).
+* :mod:`repro.dataplat.schema` / :mod:`repro.dataplat.table` — typed,
+  columnar, numpy-backed tables.
+* :mod:`repro.dataplat.dataset` — partitioned datasets with map / filter /
+  join / shuffle and lineage, a mini-RDD.
+* :mod:`repro.dataplat.catalog` — a Hive-like metastore.
+* :mod:`repro.dataplat.sql` — a SQL engine (lexer → parser → logical plan →
+  optimizer → executor) covering the joins and aggregations the feature
+  pipeline needs.
+* :mod:`repro.dataplat.etl` — extract-transform-load jobs from raw records
+  into catalog tables.
+"""
+
+from .blockstore import BlockStore, FileStatus
+from .catalog import Catalog
+from .dataset import Dataset
+from .schema import Column, ColumnType, Schema
+from .sql import SQLEngine
+from .table import Table
+
+__all__ = [
+    "BlockStore",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Dataset",
+    "FileStatus",
+    "Schema",
+    "SQLEngine",
+    "Table",
+]

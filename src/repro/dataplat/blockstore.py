@@ -1,0 +1,264 @@
+"""A mini-HDFS: namenode metadata over replicated block storage.
+
+The paper stores its raw BSS/OSS tables on HDFS.  This module reproduces the
+storage model in-process: files are split into fixed-size blocks, each block
+is replicated onto ``replication`` distinct (simulated) datanodes, and a
+namenode keeps the file → block → datanode mapping.  Datanode failures can be
+injected to exercise re-replication, which the tests use for fault-injection
+coverage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+
+#: Default block size.  Real HDFS uses 128 MB; our synthetic tables are small
+#: so a smaller default keeps multiple blocks per file in play.
+DEFAULT_BLOCK_SIZE = 1 << 20
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """Metadata for one block of a file."""
+
+    block_id: str
+    length: int
+    replicas: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FileStatus:
+    """Metadata for one file, as reported by the namenode."""
+
+    path: str
+    length: int
+    block_size: int
+    replication: int
+    blocks: tuple[BlockInfo, ...] = field(repr=False)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+class _DataNode:
+    """One simulated datanode holding block payloads."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.blocks: dict[str, bytes] = {}
+        self.alive = True
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self.blocks.values())
+
+
+class BlockStore:
+    """Namenode + datanodes in one object.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of simulated datanodes.
+    replication:
+        Replicas per block (capped at ``num_nodes``).
+    block_size:
+        Bytes per block.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        replication: int = 2,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if num_nodes < 1:
+            raise StorageError(f"need at least one datanode, got {num_nodes}")
+        if replication < 1:
+            raise StorageError(f"replication must be >= 1, got {replication}")
+        if block_size < 1:
+            raise StorageError(f"block_size must be >= 1, got {block_size}")
+        self._nodes = [_DataNode(i) for i in range(num_nodes)]
+        self._replication = min(replication, num_nodes)
+        self._block_size = block_size
+        self._files: dict[str, FileStatus] = {}
+        self._next_block = 0
+
+    # ------------------------------------------------------------------
+    # File operations
+    # ------------------------------------------------------------------
+
+    def write(self, path: str, payload: bytes, overwrite: bool = True) -> FileStatus:
+        """Write ``payload`` at ``path``, splitting into replicated blocks."""
+        _validate_path(path)
+        if path in self._files:
+            if not overwrite:
+                raise StorageError(f"file exists: {path}")
+            self.delete(path)
+        blocks = []
+        for offset in range(0, max(len(payload), 1), self._block_size):
+            chunk = payload[offset : offset + self._block_size]
+            blocks.append(self._store_block(chunk))
+        status = FileStatus(
+            path=path,
+            length=len(payload),
+            block_size=self._block_size,
+            replication=self._replication,
+            blocks=tuple(blocks),
+        )
+        self._files[path] = status
+        return status
+
+    def read(self, path: str) -> bytes:
+        """Read the full contents of ``path`` from any live replica."""
+        status = self.status(path)
+        parts = []
+        for block in status.blocks:
+            parts.append(self._fetch_block(block))
+        return b"".join(parts)
+
+    def status(self, path: str) -> FileStatus:
+        """Namenode metadata for ``path``."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise StorageError(f"no such file: {path}") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Delete ``path`` and free its blocks on all datanodes."""
+        status = self.status(path)
+        for block in status.blocks:
+            for node_id in block.replicas:
+                self._nodes[node_id].blocks.pop(block.block_id, None)
+        del self._files[path]
+
+    def list_files(self, prefix: str = "/") -> list[str]:
+        """All file paths under ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    @property
+    def total_bytes(self) -> int:
+        """Logical bytes stored (pre-replication)."""
+        return sum(s.length for s in self._files.values())
+
+    @property
+    def physical_bytes(self) -> int:
+        """Physical bytes across all datanodes (post-replication)."""
+        return sum(n.used_bytes for n in self._nodes)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def kill_node(self, node_id: int) -> None:
+        """Simulate a datanode failure; its replicas become unreadable."""
+        self._node(node_id).alive = False
+
+    def revive_node(self, node_id: int) -> None:
+        """Bring a dead datanode back (its blocks are intact)."""
+        self._node(node_id).alive = True
+
+    def re_replicate(self) -> int:
+        """Restore the replication factor after node deaths.
+
+        Returns the number of new replicas created.  Blocks with no live
+        replica cannot be recovered and raise :class:`StorageError`.
+        """
+        created = 0
+        live = [n for n in self._nodes if n.alive]
+        for path, status in list(self._files.items()):
+            new_blocks = []
+            for block in status.blocks:
+                live_replicas = [
+                    nid for nid in block.replicas if self._nodes[nid].alive
+                ]
+                if not live_replicas:
+                    raise StorageError(
+                        f"block {block.block_id} of {path} lost all replicas"
+                    )
+                replicas = list(live_replicas)
+                if len(replicas) < self._replication:
+                    payload = self._nodes[replicas[0]].blocks[block.block_id]
+                    for node in live:
+                        if len(replicas) >= self._replication:
+                            break
+                        if node.node_id in replicas:
+                            continue
+                        node.blocks[block.block_id] = payload
+                        replicas.append(node.node_id)
+                        created += 1
+                new_blocks.append(
+                    BlockInfo(block.block_id, block.length, tuple(replicas))
+                )
+            self._files[path] = FileStatus(
+                path=status.path,
+                length=status.length,
+                block_size=status.block_size,
+                replication=status.replication,
+                blocks=tuple(new_blocks),
+            )
+        return created
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _node(self, node_id: int) -> _DataNode:
+        if not 0 <= node_id < len(self._nodes):
+            raise StorageError(f"no such datanode: {node_id}")
+        return self._nodes[node_id]
+
+    def _store_block(self, chunk: bytes) -> BlockInfo:
+        block_id = f"blk_{self._next_block:012d}_{_digest(chunk)}"
+        self._next_block += 1
+        live = [n for n in self._nodes if n.alive]
+        if not live:
+            raise StorageError("no live datanodes")
+        # Place replicas on the emptiest live nodes (simple balancer).
+        live.sort(key=lambda n: n.used_bytes)
+        targets = live[: self._replication]
+        for node in targets:
+            node.blocks[block_id] = chunk
+        return BlockInfo(block_id, len(chunk), tuple(n.node_id for n in targets))
+
+    def _fetch_block(self, block: BlockInfo) -> bytes:
+        for node_id in block.replicas:
+            node = self._nodes[node_id]
+            if node.alive and block.block_id in node.blocks:
+                chunk = node.blocks[block.block_id]
+                if _digest(chunk) != block.block_id.rsplit("_", 1)[-1]:
+                    continue  # corrupt replica; try the next one
+                return chunk
+        raise StorageError(f"no live replica for block {block.block_id}")
+
+    def corrupt_block(self, path: str, block_index: int, node_id: int) -> None:
+        """Flip bytes of one replica (fault injection for checksum paths)."""
+        status = self.status(path)
+        if not 0 <= block_index < len(status.blocks):
+            raise StorageError(f"{path} has no block #{block_index}")
+        block = status.blocks[block_index]
+        node = self._node(node_id)
+        if block.block_id not in node.blocks:
+            raise StorageError(f"node {node_id} holds no replica of that block")
+        payload = bytearray(node.blocks[block.block_id])
+        if payload:
+            payload[0] ^= 0xFF
+        node.blocks[block.block_id] = bytes(payload)
+
+
+def _digest(chunk: bytes) -> str:
+    return hashlib.sha1(chunk).hexdigest()[:10]
+
+
+def _validate_path(path: str) -> None:
+    if not path.startswith("/"):
+        raise StorageError(f"paths must be absolute, got {path!r}")
+    if "//" in path or path.endswith("/"):
+        raise StorageError(f"malformed path: {path!r}")

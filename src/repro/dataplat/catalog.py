@@ -1,0 +1,208 @@
+"""A Hive-like metastore over the block store.
+
+The paper lands raw BSS/OSS tables in HDFS as Hive tables and re-reads the
+intermediate feature tables "many times".  :class:`Catalog` reproduces that:
+it maps ``database.table`` (optionally partitioned, e.g. by month) onto block
+store paths, caches deserialized tables, and exposes the listing / drop /
+describe surface a metastore has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CatalogError
+from .blockstore import BlockStore
+from .schema import Schema
+from .table import Table
+
+
+@dataclass(frozen=True)
+class TableInfo:
+    """Metadata about one catalog table."""
+
+    database: str
+    name: str
+    schema: Schema
+    partitions: tuple[str, ...]
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.database}.{self.name}"
+
+
+class Catalog:
+    """Metastore mapping logical tables to block-store files.
+
+    Parameters
+    ----------
+    store:
+        Backing :class:`BlockStore`; a private one is created if omitted.
+    """
+
+    #: Partition value used for unpartitioned tables.
+    DEFAULT_PARTITION = "__all__"
+
+    def __init__(self, store: BlockStore | None = None) -> None:
+        self._store = store if store is not None else BlockStore()
+        self._tables: dict[tuple[str, str], dict[str, str]] = {}
+        self._schemas: dict[tuple[str, str], Schema] = {}
+        self._cache: dict[str, Table] = {}
+        self._databases: set[str] = {"default"}
+
+    @property
+    def store(self) -> BlockStore:
+        return self._store
+
+    # ------------------------------------------------------------------
+    # Databases
+    # ------------------------------------------------------------------
+
+    def create_database(self, name: str) -> None:
+        """Create a database (idempotent)."""
+        self._databases.add(name)
+
+    def databases(self) -> list[str]:
+        return sorted(self._databases)
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        table: Table,
+        name: str,
+        database: str = "default",
+        partition: str | None = None,
+        overwrite: bool = True,
+    ) -> None:
+        """Write ``table`` to the store and register it.
+
+        A ``partition`` value (e.g. ``"month=3"``) appends/overwrites one
+        partition; omitted means the whole unpartitioned table.
+        """
+        if database not in self._databases:
+            raise CatalogError(f"unknown database: {database}")
+        key = (database, name)
+        partition = partition or self.DEFAULT_PARTITION
+        existing = self._schemas.get(key)
+        if existing is not None and existing != table.schema:
+            raise CatalogError(
+                f"schema mismatch for {database}.{name}: partition schema "
+                f"{table.schema!r} != table schema {existing!r}"
+            )
+        path = self._path(database, name, partition)
+        if self._store.exists(path) and not overwrite:
+            raise CatalogError(f"partition exists: {database}.{name}/{partition}")
+        self._store.write(path, table.to_bytes())
+        self._tables.setdefault(key, {})[partition] = path
+        self._schemas[key] = table.schema
+        self._cache[path] = table
+
+    def register_temp(
+        self,
+        table: Table,
+        name: str,
+        database: str = "default",
+    ) -> None:
+        """Register an in-memory table as a temp view (not persisted).
+
+        The Spark analogue is ``createOrReplaceTempView``: the table is
+        queryable like any other but lives only in this catalog instance and
+        writes no bytes to the block store.  Re-registering replaces it.
+        """
+        if database not in self._databases:
+            raise CatalogError(f"unknown database: {database}")
+        key = (database, name)
+        existing = self._schemas.get(key)
+        if existing is not None and key in self._tables:
+            for path in self._tables[key].values():
+                if self._store.exists(path):
+                    raise CatalogError(
+                        f"{database}.{name} is a persisted table; "
+                        f"drop it before registering a temp view"
+                    )
+        path = f"/tmpview/{database}/{name}"
+        self._tables[key] = {self.DEFAULT_PARTITION: path}
+        self._schemas[key] = table.schema
+        self._cache[path] = table
+
+    def load(
+        self,
+        name: str,
+        database: str = "default",
+        partition: str | None = None,
+    ) -> Table:
+        """Read a table (all partitions concatenated, or one partition)."""
+        key = self._resolve(name, database)
+        parts = self._tables[key]
+        if partition is not None:
+            if partition not in parts:
+                raise CatalogError(
+                    f"no partition {partition!r} in {key[0]}.{key[1]}; "
+                    f"available: {sorted(parts)}"
+                )
+            return self._read(parts[partition])
+        tables = [self._read(parts[p]) for p in sorted(parts)]
+        out = tables[0]
+        for t in tables[1:]:
+            out = out.concat_rows(t)
+        return out
+
+    def exists(self, name: str, database: str = "default") -> bool:
+        return (database, name) in self._tables
+
+    def drop(self, name: str, database: str = "default") -> None:
+        """Drop a table and delete its files."""
+        key = self._resolve(name, database)
+        for path in self._tables[key].values():
+            if self._store.exists(path):
+                self._store.delete(path)
+            self._cache.pop(path, None)
+        del self._tables[key]
+        del self._schemas[key]
+
+    def info(self, name: str, database: str = "default") -> TableInfo:
+        """Describe a table."""
+        key = self._resolve(name, database)
+        return TableInfo(
+            database=key[0],
+            name=key[1],
+            schema=self._schemas[key],
+            partitions=tuple(sorted(self._tables[key])),
+        )
+
+    def tables(self, database: str = "default") -> list[str]:
+        """Table names in one database, sorted."""
+        return sorted(n for (db, n) in self._tables if db == database)
+
+    def partitions(self, name: str, database: str = "default") -> list[str]:
+        key = self._resolve(name, database)
+        return sorted(self._tables[key])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve(self, name: str, database: str) -> tuple[str, str]:
+        key = (database, name)
+        if key not in self._tables:
+            raise CatalogError(
+                f"unknown table: {database}.{name}; "
+                f"available: {self.tables(database)}"
+            )
+        return key
+
+    def _read(self, path: str) -> Table:
+        cached = self._cache.get(path)
+        if cached is not None:
+            return cached
+        table = Table.from_bytes(self._store.read(path))
+        self._cache[path] = table
+        return table
+
+    @staticmethod
+    def _path(database: str, name: str, partition: str) -> str:
+        safe = partition.replace("=", "_").replace("/", "_")
+        return f"/warehouse/{database}/{name}/{safe}.npz"

@@ -1,0 +1,277 @@
+"""Partitioned datasets with lineage — a mini-RDD.
+
+The paper's feature pipeline is "hand coded in Spark"; a :class:`Dataset`
+reproduces the programming model: an immutable collection of partitions (each
+a :class:`~.table.Table`), transformed lazily through ``map_partitions`` /
+``filter`` / ``union`` / ``repartition_by_key`` (a shuffle), and materialized
+with actions (``collect``, ``count``, ``reduce``).  Each dataset records the
+operation that produced it so ``lineage()`` can be inspected, mirroring RDD
+lineage-based recovery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ExecutionError
+from .schema import Schema
+from .table import Table
+
+#: A transformation applied independently to each partition.
+PartitionFn = Callable[[Table], Table]
+
+
+class Dataset:
+    """An immutable, partitioned, lazily-evaluated dataset of table chunks.
+
+    Construction is cheap: transformations build a plan (a chain of parent
+    datasets plus per-partition thunks); partitions are computed on first
+    action and cached, like Spark's ``persist``.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        partition_thunks: Sequence[Callable[[], Table]],
+        op: str,
+        parents: Sequence["Dataset"] = (),
+    ) -> None:
+        self._schema = schema
+        self._thunks = list(partition_thunks)
+        self._cache: list[Table | None] = [None] * len(partition_thunks)
+        self._op = op
+        self._parents = tuple(parents)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_table(cls, table: Table, num_partitions: int = 4) -> "Dataset":
+        """Split a table into ``num_partitions`` row ranges."""
+        if num_partitions < 1:
+            raise ExecutionError(f"num_partitions must be >= 1, got {num_partitions}")
+        bounds = np.linspace(0, table.num_rows, num_partitions + 1).astype(int)
+        thunks = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            indices = np.arange(lo, hi)
+            thunks.append(lambda t=table, ix=indices: t.take(ix))
+        return cls(table.schema, thunks, op=f"from_table[{num_partitions}]")
+
+    @classmethod
+    def from_partitions(cls, partitions: Sequence[Table]) -> "Dataset":
+        """Wrap pre-built tables (all must share a schema)."""
+        if not partitions:
+            raise ExecutionError("need at least one partition")
+        schema = partitions[0].schema
+        for p in partitions[1:]:
+            if p.schema != schema:
+                raise ExecutionError("partitions have differing schemas")
+        thunks = [lambda t=p: t for p in partitions]
+        return cls(schema, thunks, op=f"from_partitions[{len(partitions)}]")
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._thunks)
+
+    def lineage(self) -> list[str]:
+        """Operations from root to this dataset (one entry per ancestor)."""
+        chain: list[str] = []
+        node: Dataset | None = self
+        seen = set()
+        stack = [self]
+        order: list[Dataset] = []
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            order.append(node)
+            stack.extend(node._parents)
+        for ds in reversed(order):
+            chain.append(ds._op)
+        return chain
+
+    # ------------------------------------------------------------------
+    # Transformations (lazy)
+    # ------------------------------------------------------------------
+
+    def map_partitions(self, fn: PartitionFn, schema: Schema, op: str = "map") -> "Dataset":
+        """Apply ``fn`` to every partition, producing tables with ``schema``."""
+        thunks = [
+            lambda i=i: _check_schema(fn(self._partition(i)), schema, op)
+            for i in range(self.num_partitions)
+        ]
+        return Dataset(schema, thunks, op=op, parents=[self])
+
+    def filter(self, predicate: Callable[[Table], np.ndarray]) -> "Dataset":
+        """Keep rows whose vectorized ``predicate`` is true."""
+        return self.map_partitions(
+            lambda t: t.filter(predicate), self._schema, op="filter"
+        )
+
+    def select(self, names: Sequence[str]) -> "Dataset":
+        """Project every partition onto ``names``."""
+        schema = self._schema.select(names)
+        return self.map_partitions(lambda t: t.select(names), schema, op="select")
+
+    def union(self, other: "Dataset") -> "Dataset":
+        """Concatenate partitions of two schema-compatible datasets."""
+        if other.schema != self._schema:
+            raise ExecutionError("union requires identical schemas")
+        thunks = [
+            lambda i=i: self._partition(i) for i in range(self.num_partitions)
+        ] + [
+            lambda i=i: other._partition(i) for i in range(other.num_partitions)
+        ]
+        return Dataset(self._schema, thunks, op="union", parents=[self, other])
+
+    def repartition_by_key(self, key: str, num_partitions: int) -> "Dataset":
+        """Shuffle: co-locate rows with equal ``key`` hash in one partition.
+
+        This is the platform's shuffle primitive; joins and grouped
+        aggregations over datasets build on it.
+        """
+        if num_partitions < 1:
+            raise ExecutionError(f"num_partitions must be >= 1, got {num_partitions}")
+
+        def build(target: int) -> Table:
+            pieces = []
+            for i in range(self.num_partitions):
+                part = self._partition(i)
+                hashes = _bucket_hash(part.column(key)) % num_partitions
+                pieces.append(part.mask(hashes == target))
+            out = pieces[0]
+            for piece in pieces[1:]:
+                out = out.concat_rows(piece)
+            return out
+
+        thunks = [lambda t=t: build(t) for t in range(num_partitions)]
+        return Dataset(
+            self._schema, thunks, op=f"shuffle[{key}->{num_partitions}]", parents=[self]
+        )
+
+    def join(self, other: "Dataset", on: str, num_partitions: int = 4) -> "Dataset":
+        """Shuffle equi-join on a single key column."""
+        left = self.repartition_by_key(on, num_partitions)
+        right = other.repartition_by_key(on, num_partitions)
+
+        def build(i: int) -> Table:
+            return left._partition(i).join(right._partition(i), on=[on])
+
+        probe = Table.empty(self._schema).join(
+            Table.empty(other.schema), on=[on]
+        )
+        thunks = [lambda i=i: build(i) for i in range(num_partitions)]
+        return Dataset(probe.schema, thunks, op=f"join[{on}]", parents=[left, right])
+
+    def group_by_key(
+        self,
+        key: str,
+        aggregations: dict[str, tuple[str, str]],
+        num_partitions: int = 4,
+    ) -> "Dataset":
+        """Distributed grouped aggregation.
+
+        Shuffles rows by ``key`` so each group lives in one partition, then
+        aggregates each partition independently — the map-side/reduce-side
+        split of a distributed GROUP BY.  ``aggregations`` follows
+        :meth:`Table.group_by`.
+        """
+        shuffled = self.repartition_by_key(key, num_partitions)
+        probe = Table.empty(self._schema).group_by([key], aggregations)
+
+        def build(i: int) -> Table:
+            part = shuffled._partition(i)
+            if part.num_rows == 0:
+                return Table.empty(probe.schema)
+            return part.group_by([key], aggregations)
+
+        thunks = [lambda i=i: build(i) for i in range(num_partitions)]
+        return Dataset(
+            probe.schema, thunks, op=f"group_by[{key}]", parents=[shuffled]
+        )
+
+    # ------------------------------------------------------------------
+    # Actions (eager)
+    # ------------------------------------------------------------------
+
+    def collect(self) -> Table:
+        """Materialize the whole dataset as one table."""
+        parts = [self._partition(i) for i in range(self.num_partitions)]
+        out = parts[0]
+        for part in parts[1:]:
+            out = out.concat_rows(part)
+        return out
+
+    def count(self) -> int:
+        """Total number of rows."""
+        return sum(self._partition(i).num_rows for i in range(self.num_partitions))
+
+    def reduce_column(self, name: str, fn: str = "sum") -> float:
+        """Reduce one numeric column across all partitions.
+
+        ``fn`` is ``sum``, ``min`` or ``max``; partial results per partition
+        are combined, as a distributed reduce would.
+        """
+        partials = []
+        for i in range(self.num_partitions):
+            col = self._partition(i).column(name)
+            if len(col) == 0:
+                continue
+            col = col.astype(np.float64)
+            if fn == "sum":
+                partials.append(col.sum())
+            elif fn == "min":
+                partials.append(col.min())
+            elif fn == "max":
+                partials.append(col.max())
+            else:
+                raise ExecutionError(f"unknown reduce function {fn!r}")
+        if not partials:
+            return 0.0
+        if fn == "sum":
+            return float(np.sum(partials))
+        if fn == "min":
+            return float(np.min(partials))
+        return float(np.max(partials))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _partition(self, i: int) -> Table:
+        cached = self._cache[i]
+        if cached is None:
+            cached = self._thunks[i]()
+            self._cache[i] = cached
+        return cached
+
+
+def _check_schema(table: Table, schema: Schema, op: str) -> Table:
+    if table.schema != schema:
+        raise ExecutionError(
+            f"operation {op!r} produced schema {table.schema!r}, "
+            f"declared {schema!r}"
+        )
+    return table
+
+
+def _bucket_hash(values: np.ndarray) -> np.ndarray:
+    """Stable non-negative bucket hash for a key column."""
+    if values.dtype.kind in "iub":
+        return np.abs(values.astype(np.int64))
+    # String keys: cheap deterministic per-value hash.
+    return np.asarray(
+        [abs(hash(("ds", v))) for v in values.tolist()], dtype=np.int64
+    )

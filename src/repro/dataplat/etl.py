@@ -1,0 +1,167 @@
+"""Extract-transform-load jobs.
+
+The paper's data layer moves BSS/OSS tables from source systems through a
+"multi-vendor data adaption module" into standard-format Hive tables.  An
+:class:`ETLJob` reproduces the pattern: extract raw records (dicts) from a
+source, validate and coerce them against a target schema, apply row
+transformations, and load the result into the catalog — with per-job counters
+for rows read / rejected / loaded, which the tests use to verify veracity
+accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..errors import ETLError
+from .catalog import Catalog
+from .schema import ColumnType, Schema
+from .table import Table
+
+#: A raw record from a source system.
+Record = Mapping[str, object]
+
+#: Optional row-level transformation; return None to drop the record.
+TransformFn = Callable[[dict], dict | None]
+
+
+@dataclass
+class ETLStats:
+    """Counters accumulated by one job run."""
+
+    rows_read: int = 0
+    rows_rejected: int = 0
+    rows_loaded: int = 0
+    reject_reasons: dict[str, int] = field(default_factory=dict)
+
+    def reject(self, reason: str) -> None:
+        self.rows_rejected += 1
+        self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+
+
+class ETLJob:
+    """One extract-transform-load pipeline into a catalog table.
+
+    Parameters
+    ----------
+    schema:
+        Target schema; records missing a column or failing coercion are
+        rejected (counted, never silently dropped).
+    target:
+        Catalog table name to load into.
+    transform:
+        Optional per-record transformation applied before validation.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        target: str,
+        transform: TransformFn | None = None,
+    ) -> None:
+        self._schema = schema
+        self._target = target
+        self._transform = transform
+
+    def run(
+        self,
+        records: Iterable[Record],
+        catalog: Catalog,
+        database: str = "default",
+        partition: str | None = None,
+    ) -> ETLStats:
+        """Execute the job; returns the run's counters."""
+        stats = ETLStats()
+        columns: dict[str, list] = {name: [] for name in self._schema.names}
+        for record in records:
+            stats.rows_read += 1
+            row = dict(record)
+            if self._transform is not None:
+                transformed = self._transform(row)
+                if transformed is None:
+                    stats.reject("transform_dropped")
+                    continue
+                row = transformed
+            coerced = self._coerce(row, stats)
+            if coerced is None:
+                continue
+            for name in self._schema.names:
+                columns[name].append(coerced[name])
+            stats.rows_loaded += 1
+        table = Table(
+            self._schema,
+            {
+                name: _column_array(values, self._schema[name].ctype)
+                for name, values in columns.items()
+            },
+        )
+        catalog.save(table, self._target, database=database, partition=partition)
+        return stats
+
+    def _coerce(self, row: dict, stats: ETLStats) -> dict | None:
+        out: dict = {}
+        for col in self._schema:
+            if col.name not in row:
+                stats.reject(f"missing:{col.name}")
+                return None
+            value = row[col.name]
+            try:
+                out[col.name] = _coerce_value(value, col.ctype)
+            except (TypeError, ValueError):
+                stats.reject(f"badtype:{col.name}")
+                return None
+        return out
+
+
+def _coerce_value(value: object, ctype: ColumnType):
+    if ctype is ColumnType.INT:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, float) and not value.is_integer():
+            raise ValueError(f"non-integral value {value!r}")
+        return int(value)  # type: ignore[arg-type]
+    if ctype is ColumnType.FLOAT:
+        return float(value)  # type: ignore[arg-type]
+    if ctype is ColumnType.BOOL:
+        if isinstance(value, bool):
+            return value
+        if value in (0, 1):
+            return bool(value)
+        raise ValueError(f"not a boolean: {value!r}")
+    return str(value)
+
+
+def _column_array(values: list, ctype: ColumnType):
+    import numpy as np
+
+    if not values:
+        return np.empty(0, dtype=ctype.dtype)
+    return np.asarray(values, dtype=ctype.dtype)
+
+
+def run_pipeline(
+    jobs: Iterable[tuple[ETLJob, Iterable[Record]]],
+    catalog: Catalog,
+    database: str = "default",
+    partition: str | None = None,
+    max_reject_fraction: float = 0.5,
+) -> dict[str, ETLStats]:
+    """Run several jobs; fail loudly if any job rejects too many rows.
+
+    Telco data is high-veracity ("very low inconsistencies"); a high reject
+    rate signals a broken adapter, so the pipeline raises instead of loading
+    a mostly-empty table.
+    """
+    all_stats: dict[str, ETLStats] = {}
+    for job, records in jobs:
+        stats = job.run(records, catalog, database=database, partition=partition)
+        all_stats[job._target] = stats
+        if stats.rows_read > 0:
+            reject_fraction = stats.rows_rejected / stats.rows_read
+            if reject_fraction > max_reject_fraction:
+                raise ETLError(
+                    f"job {job._target!r} rejected "
+                    f"{reject_fraction:.0%} of rows: {stats.reject_reasons}"
+                )
+    return all_stats

@@ -1,0 +1,211 @@
+"""Abstract syntax tree for the SQL dialect.
+
+Expressions form a small algebra (:class:`Expr` subclasses); a query is a
+:class:`SelectStatement` over a :class:`TableRef` chain with optional joins.
+Nodes are frozen dataclasses so plans can hash/compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Expr:
+    """Base class for expressions."""
+
+    def columns(self) -> set[str]:
+        """All (possibly qualified) column names referenced in this expr."""
+        out: set[str] = set()
+        _collect_columns(self, out)
+        return out
+
+    def has_aggregate(self) -> bool:
+        return _has_aggregate(self)
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object  # int | float | str | bool | None
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: str | None = None
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list or ``COUNT(*)``."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "-" | "NOT"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # arithmetic, comparison, AND, OR
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str  # upper-cased
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    branches: tuple[tuple[Expr, Expr], ...]  # (condition, value)
+    otherwise: Expr | None = None
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """SQL LIKE with ``%`` (any run) and ``_`` (one char) wildcards."""
+
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: TableRef
+    kind: str  # "inner" | "left"
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    table: TableRef
+    joins: tuple[JoinClause, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class UnionAllStatement:
+    """Two or more SELECTs concatenated with UNION ALL."""
+
+    selects: tuple[SelectStatement, ...]
+
+
+from .functions import AGGREGATE_FUNCTIONS  # noqa: E402  (cycle-free import)
+
+
+def _collect_columns(expr: Expr, out: set[str]) -> None:
+    if isinstance(expr, ColumnRef):
+        out.add(expr.qualified)
+    elif isinstance(expr, UnaryOp):
+        _collect_columns(expr.operand, out)
+    elif isinstance(expr, BinaryOp):
+        _collect_columns(expr.left, out)
+        _collect_columns(expr.right, out)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            _collect_columns(arg, out)
+    elif isinstance(expr, CaseWhen):
+        for cond, value in expr.branches:
+            _collect_columns(cond, out)
+            _collect_columns(value, out)
+        if expr.otherwise is not None:
+            _collect_columns(expr.otherwise, out)
+    elif isinstance(expr, InList):
+        _collect_columns(expr.operand, out)
+        for item in expr.items:
+            _collect_columns(item, out)
+    elif isinstance(expr, Between):
+        _collect_columns(expr.operand, out)
+        _collect_columns(expr.low, out)
+        _collect_columns(expr.high, out)
+    elif isinstance(expr, IsNull):
+        _collect_columns(expr.operand, out)
+    elif isinstance(expr, Like):
+        _collect_columns(expr.operand, out)
+
+
+def _has_aggregate(expr: Expr) -> bool:
+    if isinstance(expr, FunctionCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            return True
+        return any(_has_aggregate(a) for a in expr.args)
+    if isinstance(expr, UnaryOp):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, BinaryOp):
+        return _has_aggregate(expr.left) or _has_aggregate(expr.right)
+    if isinstance(expr, CaseWhen):
+        for cond, value in expr.branches:
+            if _has_aggregate(cond) or _has_aggregate(value):
+                return True
+        return expr.otherwise is not None and _has_aggregate(expr.otherwise)
+    if isinstance(expr, InList):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, Between):
+        return any(
+            _has_aggregate(e) for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, IsNull):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, Like):
+        return _has_aggregate(expr.operand)
+    return False

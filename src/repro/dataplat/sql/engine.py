@@ -1,0 +1,68 @@
+"""Public SQL entry point.
+
+:class:`SQLEngine` glues the front-end together: it parses, plans, optimizes
+and executes queries against a :class:`~repro.dataplat.catalog.Catalog`, and
+can register in-memory tables (like Spark's ``createOrReplaceTempView``).
+"""
+
+from __future__ import annotations
+
+from ..catalog import Catalog
+from ..table import Table
+from .executor import Executor
+from .parser import parse
+from .plan import PlanNode
+from .planner import build_plan, optimize
+
+
+class SQLEngine:
+    """Run SQL over catalog tables.
+
+    >>> engine = SQLEngine()
+    >>> import numpy as np
+    >>> engine.register(Table.from_arrays(x=np.array([1, 2, 3])), "t")
+    >>> float(engine.query("SELECT SUM(x) AS total FROM t")["total"][0])
+    6.0
+    """
+
+    def __init__(self, catalog: Catalog | None = None, database: str = "default") -> None:
+        self._catalog = catalog if catalog is not None else Catalog()
+        self._database = database
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._catalog
+
+    def register(self, table: Table, name: str) -> None:
+        """Register an in-memory table under ``name`` (temp view).
+
+        Like Spark's ``createOrReplaceTempView``: queryable immediately, no
+        bytes written to the block store, replaced on re-registration.
+        """
+        self._catalog.register_temp(table, name, database=self._database)
+
+    def plan(self, sql: str, optimized: bool = True) -> PlanNode:
+        """Parse and plan a query without executing it."""
+        plan = build_plan(parse(sql))
+        if optimized:
+            plan = optimize(plan)
+        return plan
+
+    def explain(self, sql: str) -> str:
+        """Readable optimized plan for a query."""
+        return self.plan(sql).describe()
+
+    def query(self, sql: str) -> Table:
+        """Execute a SELECT statement and return the result table."""
+        executor = Executor(self._catalog, self._database)
+        return executor.execute(self.plan(sql))
+
+    def create_table_as(self, name: str, sql: str, partition: str | None = None) -> Table:
+        """CTAS: run ``sql`` and save the result under ``name``.
+
+        The paper stores intermediate feature tables back into Hive so later
+        stages can reuse them; this is that operation.
+        """
+        result = self.query(sql)
+        self._catalog.save(result, name, database=self._database, partition=partition)
+        return result

@@ -1,0 +1,145 @@
+"""Logical plan operators.
+
+The planner lowers an AST into a tree of these nodes; the optimizer rewrites
+the tree; the executor walks it bottom-up.  Column naming convention inside a
+plan: every scan qualifies its output columns as ``binding.column`` so joins
+never collide and references resolve unambiguously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast_nodes import Expr, OrderItem, SelectItem
+
+
+class PlanNode:
+    """Base class for logical plan operators."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable plan tree (for EXPLAIN)."""
+        pad = "  " * indent
+        lines = [f"{pad}{self._label()}"]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class Scan(PlanNode):
+    """Read a catalog table; outputs columns qualified by ``binding``."""
+
+    table: str
+    binding: str
+    columns: tuple[str, ...] | None = None  # None = all columns
+
+    def _label(self) -> str:
+        cols = "*" if self.columns is None else ",".join(self.columns)
+        return f"Scan({self.table} as {self.binding}, cols=[{cols}])"
+
+
+@dataclass
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: Expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+@dataclass
+class Join(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    kind: str  # "inner" | "left"
+    condition: Expr
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def _label(self) -> str:
+        return f"Join({self.kind}, on={self.condition!r})"
+
+
+@dataclass
+class Project(PlanNode):
+    """Final projection: evaluates select items and names the outputs."""
+
+    child: PlanNode
+    items: tuple[SelectItem, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Project({len(self.items)} items)"
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Grouped (or global) aggregation producing the select items."""
+
+    child: PlanNode
+    group_by: tuple[Expr, ...]
+    items: tuple[SelectItem, ...]
+    having: Expr | None = None
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Aggregate(keys={len(self.group_by)}, items={len(self.items)})"
+
+
+@dataclass
+class Sort(PlanNode):
+    child: PlanNode
+    order_by: tuple[OrderItem, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Sort({len(self.order_by)} keys)"
+
+
+@dataclass
+class Limit(PlanNode):
+    child: PlanNode
+    count: int
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Limit({self.count})"
+
+
+@dataclass
+class Distinct(PlanNode):
+    child: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class UnionAll(PlanNode):
+    """Concatenate the outputs of several sub-plans (schemas must match)."""
+
+    inputs: tuple[PlanNode, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return self.inputs
+
+    def _label(self) -> str:
+        return f"UnionAll({len(self.inputs)} inputs)"

@@ -1,0 +1,289 @@
+"""AST → logical plan, plus rule-based optimization.
+
+Two classic optimizations are implemented — the ones that matter for the
+feature-engineering workload of wide scans over monthly telco tables:
+
+* **Predicate pushdown** — conjuncts of the WHERE clause move below joins to
+  the side whose bindings they reference, shrinking join inputs.
+* **Projection pruning** — scans read only the columns any operator above
+  them references, which matters for the 140-column BSS tables.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    OrderItem,
+    SelectStatement,
+    Star,
+    UnionAllStatement,
+)
+from .plan import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+)
+
+
+def build_plan(stmt: "SelectStatement | UnionAllStatement") -> PlanNode:
+    """Lower a parsed statement into an unoptimized logical plan."""
+    if isinstance(stmt, UnionAllStatement):
+        return UnionAll(tuple(build_plan(s) for s in stmt.selects))
+    node: PlanNode = Scan(stmt.table.name, stmt.table.binding)
+    for join in stmt.joins:
+        right: PlanNode = Scan(join.table.name, join.table.binding)
+        node = Join(node, right, join.kind, join.condition)
+    if stmt.where is not None:
+        node = Filter(node, stmt.where)
+    needs_aggregate = bool(stmt.group_by) or any(
+        item.expr.has_aggregate() for item in stmt.items
+    )
+    if needs_aggregate:
+        node = Aggregate(node, stmt.group_by, stmt.items, stmt.having)
+        if stmt.distinct:
+            node = Distinct(node)
+        if stmt.order_by:
+            node = Sort(node, stmt.order_by)
+    else:
+        # ORDER BY may reference source columns that the projection drops
+        # (``SELECT imsi FROM cdr ORDER BY dur``), so sort below the
+        # projection, first rewriting alias references to their expressions.
+        order_by = tuple(
+            OrderItem(_dealias(item.expr, stmt.items), item.descending)
+            for item in stmt.order_by
+        )
+        if order_by:
+            node = Sort(node, order_by)
+        node = Project(node, stmt.items)
+        if stmt.distinct:
+            node = Distinct(node)
+    if stmt.limit is not None:
+        node = Limit(node, stmt.limit)
+    return node
+
+
+def _dealias(expr: Expr, items: tuple) -> Expr:
+    """Replace a bare reference to a select alias with the aliased expr."""
+    if isinstance(expr, ColumnRef) and expr.table is None:
+        for item in items:
+            if item.alias == expr.name:
+                return item.expr
+    return expr
+
+
+def optimize(plan: PlanNode) -> PlanNode:
+    """Apply the rewrite rules until a fixed point (max two passes needed)."""
+    plan = _push_down_predicates(plan)
+    plan = _prune_projections(plan, required=set())
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Predicate pushdown
+# ----------------------------------------------------------------------
+
+
+def _split_conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _combine_conjuncts(conjuncts: list[Expr]) -> Expr:
+    out = conjuncts[0]
+    for term in conjuncts[1:]:
+        out = BinaryOp("AND", out, term)
+    return out
+
+
+def _bindings_of(node: PlanNode) -> set[str]:
+    """Table bindings visible at the output of ``node``."""
+    if isinstance(node, Scan):
+        return {node.binding}
+    out: set[str] = set()
+    for child in node.children():
+        out |= _bindings_of(child)
+    return out
+
+
+def _expr_bindings(expr: Expr) -> set[str] | None:
+    """Bindings referenced by ``expr``; None if any reference is unqualified.
+
+    Unqualified references cannot be attributed to one join side safely, so
+    predicates containing them stay above the join.
+    """
+    out: set[str] = set()
+    for name in expr.columns():
+        if "." not in name:
+            return None
+        out.add(name.split(".", 1)[0])
+    return out
+
+
+def _push_down_predicates(node: PlanNode) -> PlanNode:
+    if isinstance(node, Filter):
+        child = _push_down_predicates(node.child)
+        if isinstance(child, Join):
+            remaining: list[Expr] = []
+            left_terms: list[Expr] = []
+            right_terms: list[Expr] = []
+            left_bindings = _bindings_of(child.left)
+            right_bindings = _bindings_of(child.right)
+            for term in _split_conjuncts(node.predicate):
+                refs = _expr_bindings(term)
+                if refs is not None and refs and refs <= left_bindings:
+                    left_terms.append(term)
+                elif (
+                    refs is not None
+                    and refs
+                    and refs <= right_bindings
+                    and child.kind == "inner"
+                ):
+                    # For left joins, filtering the right side early would
+                    # change which rows get null-extended; keep above.
+                    right_terms.append(term)
+                else:
+                    remaining.append(term)
+            left = child.left
+            right = child.right
+            if left_terms:
+                left = _push_down_predicates(
+                    Filter(left, _combine_conjuncts(left_terms))
+                )
+            if right_terms:
+                right = _push_down_predicates(
+                    Filter(right, _combine_conjuncts(right_terms))
+                )
+            new_join = Join(left, right, child.kind, child.condition)
+            if remaining:
+                return Filter(new_join, _combine_conjuncts(remaining))
+            return new_join
+        return Filter(child, node.predicate)
+    # Recurse structurally for the other operators.
+    if isinstance(node, Join):
+        return Join(
+            _push_down_predicates(node.left),
+            _push_down_predicates(node.right),
+            node.kind,
+            node.condition,
+        )
+    if isinstance(node, Project):
+        return Project(_push_down_predicates(node.child), node.items)
+    if isinstance(node, Aggregate):
+        return Aggregate(
+            _push_down_predicates(node.child),
+            node.group_by,
+            node.items,
+            node.having,
+        )
+    if isinstance(node, Sort):
+        return Sort(_push_down_predicates(node.child), node.order_by)
+    if isinstance(node, Limit):
+        return Limit(_push_down_predicates(node.child), node.count)
+    if isinstance(node, Distinct):
+        return Distinct(_push_down_predicates(node.child))
+    if isinstance(node, UnionAll):
+        return UnionAll(tuple(_push_down_predicates(c) for c in node.inputs))
+    return node
+
+
+# ----------------------------------------------------------------------
+# Projection pruning
+# ----------------------------------------------------------------------
+
+
+def _referenced_columns(node: PlanNode) -> set[str] | None:
+    """Columns an operator itself references (qualified or bare).
+
+    Returns None to mean "everything" (e.g. ``SELECT *``).
+    """
+    if isinstance(node, (Project, Aggregate)):
+        out: set[str] = set()
+        for item in node.items:
+            if isinstance(item.expr, Star):
+                return None
+            out |= item.expr.columns()
+        if isinstance(node, Aggregate):
+            for expr in node.group_by:
+                out |= expr.columns()
+            if node.having is not None:
+                out |= node.having.columns()
+        return out
+    if isinstance(node, Filter):
+        return node.predicate.columns()
+    if isinstance(node, Join):
+        return node.condition.columns()
+    if isinstance(node, Sort):
+        out = set()
+        for item in node.order_by:
+            out |= item.expr.columns()
+        return out
+    return set()
+
+
+def _prune_projections(node: PlanNode, required: set[str] | None = None) -> PlanNode:
+    """Push the set of required columns down to the scans.
+
+    ``required`` is the set of (possibly qualified) names needed above this
+    node, or None for "all columns".
+    """
+    own = _referenced_columns(node)
+    if own is None or required is None:
+        needed: set[str] | None = None
+    else:
+        needed = required | own
+
+    if isinstance(node, Scan):
+        if needed is None:
+            return node
+        cols = set()
+        prefix = f"{node.binding}."
+        for name in needed:
+            if name.startswith(prefix):
+                cols.add(name[len(prefix):])
+            elif "." not in name:
+                cols.add(name)
+        return Scan(node.table, node.binding, tuple(sorted(cols)) if cols else None)
+    if isinstance(node, Filter):
+        return Filter(_prune_projections(node.child, needed), node.predicate)
+    if isinstance(node, Join):
+        return Join(
+            _prune_projections(node.left, needed),
+            _prune_projections(node.right, needed),
+            node.kind,
+            node.condition,
+        )
+    if isinstance(node, Project):
+        return Project(_prune_projections(node.child, needed), node.items)
+    if isinstance(node, Aggregate):
+        return Aggregate(
+            _prune_projections(node.child, needed),
+            node.group_by,
+            node.items,
+            node.having,
+        )
+    if isinstance(node, Sort):
+        # Below-projection sorts contribute their key columns; an
+        # above-aggregate sort references output columns, which resolve via
+        # the executor's bare-name fallback — pruning keys is still safe
+        # because the aggregate declares everything it needs itself.
+        return Sort(_prune_projections(node.child, needed), node.order_by)
+    if isinstance(node, Limit):
+        return Limit(_prune_projections(node.child, required), node.count)
+    if isinstance(node, Distinct):
+        return Distinct(_prune_projections(node.child, required))
+    if isinstance(node, UnionAll):
+        # Each branch has its own projection; prune independently.
+        return UnionAll(
+            tuple(_prune_projections(c, set()) for c in node.inputs)
+        )
+    return node

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DataPlatformError(ReproError):
+    """Base class for errors raised by the mini data platform."""
+
+
+class StorageError(DataPlatformError):
+    """A block-store operation failed (missing block, bad replica, ...)."""
+
+
+class SchemaError(DataPlatformError):
+    """A table schema was violated or two schemas are incompatible."""
+
+
+class CatalogError(DataPlatformError):
+    """A catalog (metastore) operation failed, e.g. unknown table."""
+
+
+class SQLError(DataPlatformError):
+    """Base class for SQL front-end errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SQLAnalysisError(SQLError):
+    """The SQL parsed but is semantically invalid (unknown column, ...)."""
+
+
+class ExecutionError(DataPlatformError):
+    """A physical plan failed during execution."""
+
+
+class ETLError(DataPlatformError):
+    """An extract-transform-load job failed."""
+
+
+class ModelError(ReproError):
+    """Base class for errors raised by the ML substrate."""
+
+
+class NotFittedError(ModelError):
+    """A model was asked to predict before being fitted."""
+
+
+class TrainingError(ModelError):
+    """Model training failed (degenerate input, bad hyper-parameter, ...)."""
+
+
+class FeatureError(ReproError):
+    """Feature engineering failed (missing table, bad category, ...)."""
+
+
+class SimulationError(ReproError):
+    """The synthetic telco simulator was driven with invalid arguments."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was configured inconsistently."""

@@ -1,0 +1,31 @@
+"""Feature engineering (Section 4.1).
+
+Nine feature families, named F1..F9 as in Table 2 of the paper:
+
+====  ==========================================  =====================
+id    family                                      built by
+====  ==========================================  =====================
+F1    baseline BSS features (~70)                 :mod:`.bss_features`
+F2    CS voice KPI/KQI (9)                        :mod:`.cs_features`
+F3    PS data KPI/KQI + locations (25)            :mod:`.ps_features`
+F4    call-graph PageRank + label prop (2)        :mod:`.graph_features`
+F5    message-graph PageRank + label prop (2)     :mod:`.graph_features`
+F6    co-occurrence PageRank + label prop (2)     :mod:`.graph_features`
+F7    complaint-text LDA topics (10)              :mod:`.topic_features`
+F8    search-query LDA topics (10)                :mod:`.topic_features`
+F9    FM-selected second-order products (20)      :mod:`.second_order`
+====  ==========================================  =====================
+
+:class:`~repro.features.widetable.WideTableBuilder` assembles any subset
+into the unified wide table the classifiers consume.
+"""
+
+from .spec import ALL_CATEGORIES, CATEGORY_INFO, FeatureMatrix
+from .widetable import WideTableBuilder
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "CATEGORY_INFO",
+    "FeatureMatrix",
+    "WideTableBuilder",
+]

@@ -1,0 +1,117 @@
+"""F1: baseline BSS features, built with SQL like the paper's pipeline.
+
+The paper sanitizes raw Hive tables with Spark SQL, materializes
+intermediate aggregates, and joins everything into one wide table.  We do
+the same against the mini platform: two CTAS aggregations (recharge events →
+per-customer totals, daily CDR → monthly totals plus a late-month share that
+captures recent behaviour) followed by a six-way join.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataplat.sql import SQLEngine
+from ..errors import FeatureError
+from .spec import FeatureMatrix
+
+#: Columns pulled straight from the monthly tables (qualified per source).
+USER_BASE_COLUMNS = (
+    "age", "gender", "town_id", "sale_id", "pspt_type", "is_shanghai",
+    "product_id", "product_price", "product_knd", "credit_value",
+    "innet_dura", "vip",
+)
+
+CDR_MONTHLY_COLUMNS = (
+    "localbase_outer_call_dur", "localbase_inner_call_dur", "ld_call_dur",
+    "roam_call_dur", "localbase_called_dur", "ld_called_dur",
+    "roam_called_dur", "cm_dur", "ct_dur", "busy_call_dur", "fest_call_dur",
+    "free_call_dur", "voice_dur", "all_call_cnt", "voice_cnt",
+    "local_base_call_cnt", "ld_call_cnt", "roam_call_cnt", "caller_cnt",
+    "caller_dur", "sms_p2p_inner_mo_cnt", "sms_p2p_other_mo_cnt",
+    "sms_p2p_cm_mo_cnt", "sms_p2p_ct_mo_cnt", "sms_info_mo_cnt",
+    "sms_p2p_roam_int_mo_cnt", "sms_p2p_mt_cnt", "sms_bill_cnt", "mms_cnt",
+    "mms_p2p_inner_mo_cnt", "mms_p2p_other_mo_cnt", "mms_p2p_cm_mo_cnt",
+    "mms_p2p_ct_mo_cnt", "mms_p2p_roam_int_mo_cnt", "mms_p2p_mt_cnt",
+    "gprs_all_flux", "call_10010_cnt", "call_10010_manual_cnt",
+)
+
+BILLING_COLUMNS = (
+    "total_charge", "gprs_flux", "gprs_charge", "local_call_minutes",
+    "toll_call_minutes", "roam_call_minutes", "voice_call_minutes",
+    "p2p_sms_mo_cnt", "p2p_sms_mo_charge", "balance", "balance_rate",
+    "gift_voice_call_dur", "gift_sms_mo_cnt", "gift_flux_value",
+    "distinct_serve_count", "serve_sms_count",
+)
+
+#: Day of month after which usage counts as "late" for the trend features.
+LATE_DAY_CUT = 20
+
+
+def build_f1(engine: SQLEngine, month: int) -> FeatureMatrix:
+    """Build the F1 block for one month from registered ``*_m<month>`` views."""
+    m = month
+    base_day = (m - 1) * 30
+
+    engine.register(
+        engine.query(
+            f"""
+            SELECT imsi,
+                   COUNT(*) AS recharge_cnt,
+                   SUM(amount) AS recharge_amt
+            FROM recharge_events_m{m}
+            GROUP BY imsi
+            """
+        ),
+        f"recharge_agg_m{m}",
+    )
+    engine.register(
+        engine.query(
+            f"""
+            SELECT imsi,
+                   SUM(call_dur) AS total_call_dur_d,
+                   SUM(CASE WHEN day > {base_day + LATE_DAY_CUT}
+                       THEN call_dur ELSE 0 END) AS late_call_dur_d,
+                   SUM(data_mb) AS total_data_mb_d,
+                   SUM(CASE WHEN day > {base_day + LATE_DAY_CUT}
+                       THEN data_mb ELSE 0 END) AS late_data_mb_d
+            FROM cdr_daily_m{m}
+            GROUP BY imsi
+            """
+        ),
+        f"daily_agg_m{m}",
+    )
+
+    select_parts = ["u.imsi AS imsi"]
+    select_parts += [f"u.{c}" for c in USER_BASE_COLUMNS]
+    select_parts += [f"c.{c}" for c in CDR_MONTHLY_COLUMNS]
+    select_parts += [f"b.{c}" for c in BILLING_COLUMNS]
+    select_parts += [
+        "r.recharge_cnt",
+        "r.recharge_amt",
+        "d.total_call_dur_d",
+        "SAFE_DIV(d.late_call_dur_d, d.total_call_dur_d) AS late_call_share",
+        "d.total_data_mb_d",
+        "SAFE_DIV(d.late_data_mb_d, d.total_data_mb_d) AS late_data_share",
+        "p.n_complaints",
+    ]
+    sql = f"""
+        SELECT {', '.join(select_parts)}
+        FROM user_base_m{m} u
+        JOIN cdr_monthly_m{m} c ON u.imsi = c.imsi
+        JOIN billing_m{m} b ON u.imsi = b.imsi
+        JOIN complaints_m{m} p ON u.imsi = p.imsi
+        JOIN daily_agg_m{m} d ON u.imsi = d.imsi
+        LEFT JOIN recharge_agg_m{m} r ON u.imsi = r.imsi
+        ORDER BY u.imsi
+    """
+    wide = engine.query(sql)
+    names = [n for n in wide.schema.names if n != "imsi"]
+    if len(names) < 60:
+        raise FeatureError(
+            f"F1 wide table unexpectedly narrow: {len(names)} columns"
+        )
+    values = np.column_stack([
+        np.asarray(wide[n], dtype=np.float64) for n in names
+    ])
+    return FeatureMatrix(wide["imsi"], names, values)

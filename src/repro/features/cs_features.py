@@ -1,0 +1,32 @@
+"""F2: the 9 CS voice KPI/KQI features (Section 4.1.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataplat.sql import SQLEngine
+from .spec import FeatureMatrix
+
+CS_COLUMNS = (
+    "perceived_call_success_rate",
+    "e2e_conn_delay",
+    "perceived_call_drop_rate",
+    "voice_quality_mos_ul",
+    "voice_quality_mos_dl",
+    "voice_quality_ip_mos",
+    "oneway_audio_cnt",
+    "noise_cnt",
+    "echo_cnt",
+)
+
+
+def build_f2(engine: SQLEngine, month: int) -> FeatureMatrix:
+    """Select the CS KPI block for one month, IMSI-sorted."""
+    cols = ", ".join(CS_COLUMNS)
+    table = engine.query(
+        f"SELECT imsi, {cols} FROM cs_kpi_m{month} ORDER BY imsi"
+    )
+    values = np.column_stack([
+        np.asarray(table[c], dtype=np.float64) for c in CS_COLUMNS
+    ])
+    return FeatureMatrix(table["imsi"], list(CS_COLUMNS), values)

@@ -1,0 +1,67 @@
+"""F4/F5/F6: graph-based features (Section 4.1.2).
+
+Two features per graph and customer:
+
+* ``pagerank_<graph>`` — static importance under weighted PageRank (Eq. 1);
+  computed once per world since the graphs are stable;
+* ``labelprop_<graph>`` — the churner probability propagated from customers
+  *known to be churning this month* (they are in the recharge period past
+  the 15-day grace, so their labels are observable when features are built).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datagen.simulator import TelcoWorld
+from ..errors import FeatureError
+from ..ml.graphalgo import label_propagation, pagerank
+from .spec import FeatureMatrix
+
+#: Category → graph name mapping (paper Table 2).
+GRAPH_OF_CATEGORY = {
+    "F4": "call",
+    "F5": "message",
+    "F6": "cooccurrence",
+}
+
+
+class GraphFeatureBuilder:
+    """Computes per-month graph features for one world."""
+
+    def __init__(self, world: TelcoWorld) -> None:
+        self._world = world
+        self._pagerank: dict[str, np.ndarray] = {}
+
+    def _pagerank_of(self, graph_name: str) -> np.ndarray:
+        cached = self._pagerank.get(graph_name)
+        if cached is None:
+            graph = self._world.graphs[graph_name]
+            cached = pagerank(graph.edges, graph.weights, graph.n_nodes)
+            self._pagerank[graph_name] = cached
+        return cached
+
+    def build(self, category: str, month: int) -> FeatureMatrix:
+        """Both features of one graph category for one month."""
+        graph_name = GRAPH_OF_CATEGORY.get(category)
+        if graph_name is None:
+            raise FeatureError(
+                f"unknown graph category {category!r}; "
+                f"expected one of {sorted(GRAPH_OF_CATEGORY)}"
+            )
+        data = self._world.month(month)
+        graph = self._world.graphs[graph_name]
+        pr = self._pagerank_of(graph_name)
+        seeds = {
+            int(slot): 1 for slot in np.flatnonzero(data.churning_now)
+        }
+        if seeds:
+            beliefs = label_propagation(
+                graph.edges, graph.weights, graph.n_nodes, seeds, max_iter=20
+            )
+            lp = beliefs[:, 1]
+        else:
+            lp = np.zeros(graph.n_nodes)
+        values = np.column_stack([pr, lp])
+        names = [f"pagerank_{graph_name}", f"labelprop_{graph_name}"]
+        return FeatureMatrix(data.imsi, names, values)

@@ -1,0 +1,49 @@
+"""F3: 15 PS data-service KPI/KQI features + 10 top-location features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataplat.sql import SQLEngine
+from .spec import FeatureMatrix
+
+PS_COLUMNS = (
+    "page_response_success_rate",
+    "page_response_delay",
+    "page_browsing_success_rate",
+    "page_browsing_delay",
+    "page_download_throughput",
+    "stream_success_rate",
+    "stream_start_delay",
+    "stream_throughput",
+    "email_success_rate",
+    "email_delay",
+    "l4_ul_throughput",
+    "l4_dw_throughput",
+    "tcp_rtt",
+    "tcp_conn_success_rate",
+    "pagesize_avg",
+)
+
+LOCATION_COLUMNS = tuple(
+    f"{axis}_{rank}" for rank in range(1, 6) for axis in ("lat", "lon")
+)
+
+
+def build_f3(engine: SQLEngine, month: int) -> FeatureMatrix:
+    """Join PS KPIs with MR top-5 locations for one month, IMSI-sorted."""
+    ps_cols = ", ".join(f"k.{c}" for c in PS_COLUMNS)
+    loc_cols = ", ".join(f"l.{c}" for c in LOCATION_COLUMNS)
+    table = engine.query(
+        f"""
+        SELECT k.imsi AS imsi, {ps_cols}, {loc_cols}
+        FROM ps_kpi_m{month} k
+        JOIN mr_locations_m{month} l ON k.imsi = l.imsi
+        ORDER BY k.imsi
+        """
+    )
+    names = list(PS_COLUMNS) + list(LOCATION_COLUMNS)
+    values = np.column_stack([
+        np.asarray(table[c], dtype=np.float64) for c in names
+    ])
+    return FeatureMatrix(table["imsi"], names, values)

@@ -1,0 +1,163 @@
+"""Unified wide-table assembly.
+
+:class:`WideTableBuilder` owns one world's feature engineering: it registers
+each month's raw tables as temp views of a private SQL engine, builds every
+F1..F9 block on demand (caching per month), and left-join-aligns all blocks
+onto the month's customer list — the paper's "unified wide table, each tuple
+one customer's feature vector".
+
+Supervised/corpus-fitted extractors (LDA topics, FM pair selection) must be
+fitted with :meth:`fit_extractors` on training months before the categories
+F7/F8/F9 can be built, mirroring the train/test hygiene of the sliding
+window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datagen.simulator import TelcoWorld
+from ..dataplat.sql import SQLEngine
+from ..errors import FeatureError
+from .bss_features import build_f1
+from .cs_features import build_f2
+from .graph_features import GraphFeatureBuilder
+from .ps_features import build_f3
+from .second_order import SecondOrderSelector
+from .spec import ALL_CATEGORIES, FeatureMatrix
+from .topic_features import TopicFeatureExtractor
+
+
+class WideTableBuilder:
+    """Feature engineering facade over one :class:`TelcoWorld`."""
+
+    def __init__(self, world: TelcoWorld, seed: int = 0) -> None:
+        self._world = world
+        self._seed = seed
+        self._engine = SQLEngine()
+        self._registered: set[int] = set()
+        self._cache: dict[tuple[str, int], FeatureMatrix] = {}
+        self._graphs = GraphFeatureBuilder(world)
+        self._topics: dict[str, TopicFeatureExtractor] = {}
+        self._second_order: SecondOrderSelector | None = None
+        self._fit_months: tuple[int, ...] = ()
+
+    @property
+    def world(self) -> TelcoWorld:
+        return self._world
+
+    @property
+    def engine(self) -> SQLEngine:
+        """The SQL engine holding the per-month views (for inspection)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Fitting the supervised / corpus extractors
+    # ------------------------------------------------------------------
+
+    def fit_extractors(
+        self,
+        train_months: list[int],
+        train_labels: dict[int, np.ndarray],
+    ) -> "WideTableBuilder":
+        """Fit LDA vocabularies/topics and the FM pair selector.
+
+        ``train_labels[month]`` must label *every slot* of that month
+        (the builder applies eligibility filtering later, at assembly).
+        """
+        if not train_months:
+            raise FeatureError("fit_extractors requires at least one month")
+        self._fit_months = tuple(train_months)
+        for category in ("F7", "F8"):
+            extractor = TopicFeatureExtractor(category, seed=self._seed)
+            extractor.fit(self._world, train_months)
+            self._topics[category] = extractor
+        # FM selector: stack the baseline blocks of all training months.
+        blocks = [self.category("F1", m) for m in train_months]
+        base = FeatureMatrix(
+            np.concatenate([b.imsi for b in blocks]),
+            list(blocks[0].names),
+            np.vstack([b.values for b in blocks]),
+        )
+        labels = np.concatenate(
+            [np.asarray(train_labels[m], dtype=np.int64) for m in train_months]
+        )
+        selector = SecondOrderSelector(seed=self._seed)
+        selector.fit(base, labels)
+        self._second_order = selector
+        # Topic/pair fits changed: invalidate cached supervised blocks.
+        self._cache = {
+            k: v for k, v in self._cache.items() if k[0] not in ("F7", "F8", "F9")
+        }
+        return self
+
+    # ------------------------------------------------------------------
+    # Category blocks
+    # ------------------------------------------------------------------
+
+    def category(self, category: str, month: int) -> FeatureMatrix:
+        """One F-block for one month (cached)."""
+        if category not in ALL_CATEGORIES:
+            raise FeatureError(
+                f"unknown category {category!r}; expected one of {ALL_CATEGORIES}"
+            )
+        key = (category, month)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self._register_month(month)
+        if category == "F1":
+            block = build_f1(self._engine, month)
+        elif category == "F2":
+            block = build_f2(self._engine, month)
+        elif category == "F3":
+            block = build_f3(self._engine, month)
+        elif category in ("F4", "F5", "F6"):
+            block = self._graphs.build(category, month)
+        elif category in ("F7", "F8"):
+            extractor = self._topics.get(category)
+            if extractor is None:
+                raise FeatureError(
+                    f"{category} requires fit_extractors() on training months"
+                )
+            block = extractor.transform(self._world, month)
+        else:  # F9
+            if self._second_order is None:
+                raise FeatureError(
+                    "F9 requires fit_extractors() on training months"
+                )
+            block = self._second_order.transform(self.category("F1", month))
+        self._cache[key] = block
+        return block
+
+    def features(
+        self, month: int, categories: tuple[str, ...] | list[str]
+    ) -> FeatureMatrix:
+        """The wide table of one month over the given categories.
+
+        Rows cover every slot of the month in IMSI order; blocks keyed by a
+        subset of customers (none currently) are left-join aligned with
+        zero fill.
+        """
+        if not categories:
+            raise FeatureError("need at least one feature category")
+        imsi = np.sort(self._world.month(month).imsi)
+        blocks = []
+        for category in categories:
+            block = self.category(category, month)
+            if not np.array_equal(block.imsi, imsi):
+                block = block.align_to(imsi)
+            blocks.append(block)
+        return FeatureMatrix.concat(blocks)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _register_month(self, month: int) -> None:
+        if month in self._registered:
+            return
+        data = self._world.month(month)
+        for name, table in data.tables.items():
+            self._engine.register(table, f"{name}_m{month}")
+        self._registered.add(month)

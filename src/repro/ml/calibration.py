@@ -1,0 +1,139 @@
+"""Probability calibration for churn likelihoods.
+
+The retention system budgets campaigns off the churn likelihood (Eq. 4);
+bagged-vote scores are well *ranked* but not well *calibrated*, so spending
+decisions benefit from mapping scores to true probabilities.  Two classic
+calibrators, from scratch:
+
+* :class:`PlattScaler` — fits a one-dimensional logistic map
+  ``p = σ(a·s + b)`` on held-out scores;
+* :class:`IsotonicCalibrator` — pool-adjacent-violators (PAVA) monotone
+  regression, non-parametric.
+
+Diagnostics: :func:`brier_score` and :func:`expected_calibration_error`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from .linear import LogisticRegression
+
+
+def brier_score(y_true: np.ndarray, probabilities: np.ndarray) -> float:
+    """Mean squared error of probabilistic predictions (lower is better)."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if y_true.shape != probabilities.shape:
+        raise ModelError(
+            f"shape mismatch: {y_true.shape} vs {probabilities.shape}"
+        )
+    return float(np.mean((probabilities - y_true) ** 2))
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, probabilities: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: bin-weighted |empirical rate − mean predicted probability|."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if n_bins < 1:
+        raise ModelError(f"n_bins must be >= 1, got {n_bins}")
+    edges = np.linspace(0, 1, n_bins + 1)
+    bins = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    total = len(y_true)
+    ece = 0.0
+    for b in range(n_bins):
+        mask = bins == b
+        if not mask.any():
+            continue
+        gap = abs(y_true[mask].mean() - probabilities[mask].mean())
+        ece += (mask.sum() / total) * gap
+    return float(ece)
+
+
+class PlattScaler:
+    """Logistic recalibration of a 1-D score."""
+
+    def __init__(self, max_iter: int = 300) -> None:
+        self._model: LogisticRegression | None = None
+        self.max_iter = max_iter
+
+    def fit(self, scores: np.ndarray, y_true: np.ndarray) -> "PlattScaler":
+        scores = np.asarray(scores, dtype=np.float64).reshape(-1, 1)
+        y_true = np.asarray(y_true, dtype=np.int64)
+        model = LogisticRegression(l2=1e-8, max_iter=self.max_iter)
+        model.fit(scores, y_true)
+        self._model = model
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        if self._model is None:
+            raise NotFittedError("PlattScaler.transform called before fit")
+        scores = np.asarray(scores, dtype=np.float64).reshape(-1, 1)
+        return self._model.predict_proba(scores)
+
+    @property
+    def slope(self) -> float:
+        if self._model is None:
+            raise NotFittedError("PlattScaler has not been fitted")
+        return float(self._model.coef_[0])
+
+
+class IsotonicCalibrator:
+    """Monotone non-parametric calibration via pool-adjacent-violators."""
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, scores: np.ndarray, y_true: np.ndarray) -> "IsotonicCalibrator":
+        scores = np.asarray(scores, dtype=np.float64)
+        y_true = np.asarray(y_true, dtype=np.float64)
+        if scores.shape != y_true.shape or scores.ndim != 1:
+            raise ModelError("scores and labels must be equal-length 1-D arrays")
+        if len(scores) == 0:
+            raise ModelError("cannot calibrate on an empty sample")
+        order = np.argsort(scores, kind="mergesort")
+        x = scores[order]
+        y = y_true[order]
+        # PAVA with block merging: each block holds (value sum, weight).
+        values: list[float] = []
+        weights: list[float] = []
+        starts: list[int] = []
+        for i, target in enumerate(y.tolist()):
+            values.append(target)
+            weights.append(1.0)
+            starts.append(i)
+            # Merge backwards while monotonicity is violated.
+            while len(values) > 1 and values[-2] > values[-1]:
+                merged_weight = weights[-2] + weights[-1]
+                merged_value = (
+                    values[-2] * weights[-2] + values[-1] * weights[-1]
+                ) / merged_weight
+                values[-2:] = [merged_value]
+                weights[-2:] = [merged_weight]
+                starts.pop()
+        fitted = np.empty(len(y))
+        boundaries = starts + [len(y)]
+        for value, lo, hi in zip(values, boundaries[:-1], boundaries[1:]):
+            fitted[lo:hi] = value
+        self._x = x
+        self._y = fitted
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Step-interpolated calibrated probabilities (clipped to [0, 1])."""
+        if self._x is None or self._y is None:
+            raise NotFittedError("IsotonicCalibrator.transform called before fit")
+        scores = np.asarray(scores, dtype=np.float64)
+        out = np.interp(scores, self._x, self._y)
+        return np.clip(out, 0.0, 1.0)
+
+    @property
+    def fitted_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted scores, fitted monotone values) — diagnostics."""
+        if self._x is None or self._y is None:
+            raise NotFittedError("IsotonicCalibrator has not been fitted")
+        return self._x.copy(), self._y.copy()

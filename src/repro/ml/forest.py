@@ -1,0 +1,205 @@
+"""Random Forest (Section 4.2).
+
+Bagging over CART trees with √N feature subspaces; the churner likelihood of
+a test instance is the average of tree outputs (Eq. 4), and per-feature
+importance sums Gini improvements over all trees (Eq. 7).  The deployed
+system uses 500 trees with a 100-instance leaf floor; those are the defaults
+of :meth:`RandomForestClassifier.paper_settings`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import PAPER
+from ..errors import ModelError, NotFittedError
+from .tree import DecisionTree
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of Gini CART trees for churn scoring.
+
+    Parameters
+    ----------
+    n_trees:
+        Ensemble size (T in Eq. 4).
+    min_samples_leaf:
+        Per-tree leaf floor (the paper's over-fitting guard).
+    max_depth:
+        Per-tree depth cap.
+    max_features:
+        Per-node feature subsample; the paper uses ``"sqrt"``.
+    seed:
+        Master seed; each tree derives its own bootstrap and subspace RNG.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 100,
+        min_samples_leaf: int = 10,
+        max_depth: int = 25,
+        max_features: str | int | None = "sqrt",
+        seed: int = 0,
+    ) -> None:
+        if n_trees < 1:
+            raise ModelError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.min_samples_leaf = min_samples_leaf
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTree] | None = None
+        self._n_features = 0
+
+    @classmethod
+    def paper_settings(cls, seed: int = 0) -> "RandomForestClassifier":
+        """The deployed configuration: 500 trees, 100-instance leaves."""
+        return cls(
+            n_trees=PAPER.rf_trees,
+            min_samples_leaf=PAPER.rf_min_leaf,
+            seed=seed,
+        )
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "RandomForestClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(x) != len(y):
+            raise ModelError(f"x has {len(x)} rows but y has {len(y)}")
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        n = len(y)
+        trees = []
+        for t in range(self.n_trees):
+            boot = rng.integers(0, n, size=n)
+            tree = DecisionTree(
+                criterion="gini",
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            weights = None if sample_weight is None else sample_weight[boot]
+            tree.fit(x[boot], y[boot], sample_weight=weights)
+            trees.append(tree)
+        self._trees = trees
+        self._n_features = x.shape[1]
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Churner likelihood: the average of tree outputs (Eq. 4)."""
+        trees = self._trees_checked()
+        x = np.asarray(x, dtype=np.float64)
+        out = np.zeros(len(x))
+        for tree in trees:
+            out += tree.predict(x)
+        return out / len(trees)
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 labels at a likelihood threshold."""
+        return (self.predict_proba(x) >= threshold).astype(np.int64)
+
+    def rank(self, x: np.ndarray) -> np.ndarray:
+        """Row indices sorted by descending churn likelihood.
+
+        This is the paper's output artifact: the top of this list is the
+        monthly potential-churner list sent to retention campaigns.
+        """
+        return np.argsort(-self.predict_proba(x), kind="mergesort")
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Eq. 7 summed over trees, normalized to sum to 1."""
+        trees = self._trees_checked()
+        total = np.zeros(self._n_features)
+        for tree in trees:
+            total += tree.feature_importances_
+        s = total.sum()
+        return total / s if s > 0 else total
+
+    def _trees_checked(self) -> list[DecisionTree]:
+        if self._trees is None:
+            raise NotFittedError("forest has not been fitted")
+        return self._trees
+
+
+class OneVsRestForest:
+    """Multi-class RF via one-vs-rest binary forests.
+
+    The retention matcher (Section 4.3) classifies potential churners into
+    C offer categories; this wraps one :class:`RandomForestClassifier` per
+    class and predicts the argmax of the per-class churn-style likelihoods.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        n_trees: int = 50,
+        min_samples_leaf: int = 10,
+        max_depth: int = 25,
+        seed: int = 0,
+    ) -> None:
+        if n_classes < 2:
+            raise ModelError(f"n_classes must be >= 2, got {n_classes}")
+        self.n_classes = n_classes
+        self.n_trees = n_trees
+        self.min_samples_leaf = min_samples_leaf
+        self.max_depth = max_depth
+        self.seed = seed
+        self._forests: list[RandomForestClassifier] | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "OneVsRestForest":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(x) != len(y):
+            raise ModelError(f"x has {len(x)} rows but y has {len(y)}")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ModelError(
+                f"labels must be in 0..{self.n_classes - 1}, "
+                f"got range [{y.min()}, {y.max()}]"
+            )
+        forests = []
+        for c in range(self.n_classes):
+            target = (y == c).astype(np.float64)
+            forest = RandomForestClassifier(
+                n_trees=self.n_trees,
+                min_samples_leaf=self.min_samples_leaf,
+                max_depth=self.max_depth,
+                seed=self.seed + 1000 * c,
+            )
+            if target.min() == target.max():
+                # Degenerate class (absent or universal): constant score.
+                forests.append(_ConstantScorer(float(target[0])))
+            else:
+                forests.append(forest.fit(x, target))
+        self._forests = forests
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """(n, C) per-class scores, row-normalized."""
+        if self._forests is None:
+            raise NotFittedError("OneVsRestForest has not been fitted")
+        scores = np.column_stack(
+            [f.predict_proba(x) for f in self._forests]
+        )
+        totals = scores.sum(axis=1, keepdims=True)
+        return scores / np.maximum(totals, 1e-12)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most likely class per row."""
+        return self.predict_proba(x).argmax(axis=1)
+
+
+class _ConstantScorer:
+    """Stand-in forest for a class absent from the training data."""
+
+    def __init__(self, value: float) -> None:
+        self._value = value
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return np.full(len(x), self._value)

@@ -1,0 +1,61 @@
+"""Class-imbalance treatments (Table 7).
+
+Four strategies, exactly as Section 5.7 describes them:
+
+* ``none`` — train on the raw imbalanced data;
+* ``up`` — randomly duplicate churners to match the non-churner count;
+* ``down`` — randomly subsample non-churners to match the churner count;
+* ``weighted`` — keep all instances but weight each class inversely to its
+  frequency (the method the paper advocates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+
+STRATEGIES = ("none", "up", "down", "weighted")
+
+
+def rebalance(
+    x: np.ndarray,
+    y: np.ndarray,
+    strategy: str = "weighted",
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return ``(x, y, sample_weight)`` rebalanced per ``strategy``."""
+    if strategy not in STRATEGIES:
+        raise ModelError(
+            f"unknown imbalance strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.int64)
+    if len(x) != len(y):
+        raise ModelError(f"x has {len(x)} rows but y has {len(y)}")
+    pos_idx = np.flatnonzero(y == 1)
+    neg_idx = np.flatnonzero(y == 0)
+    if len(pos_idx) == 0 or len(neg_idx) == 0:
+        raise ModelError("rebalance requires both classes present")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    if strategy == "none":
+        return x, y, np.ones(len(y))
+    if strategy == "weighted":
+        # Proportional weights: each class contributes equal total weight.
+        weights = np.where(
+            y == 1, len(y) / (2 * len(pos_idx)), len(y) / (2 * len(neg_idx))
+        )
+        return x, y, weights
+    minority, majority = pos_idx, neg_idx
+    if len(pos_idx) > len(neg_idx):
+        minority, majority = neg_idx, pos_idx
+    if strategy == "up":
+        extra = rng.choice(minority, size=len(majority) - len(minority), replace=True)
+        keep = np.concatenate([np.arange(len(y)), extra])
+    else:  # down
+        sampled = rng.choice(majority, size=len(minority), replace=False)
+        keep = np.concatenate([minority, sampled])
+    rng.shuffle(keep)
+    return x[keep], y[keep], np.ones(len(keep))

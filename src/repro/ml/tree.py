@@ -1,0 +1,371 @@
+"""CART decision trees with the paper's Gini-improvement criterion.
+
+Section 4.2 of the paper: each node evaluates every candidate split point of
+a random √N-subset of features and takes the split with the maximum Gini
+improvement (Eq. 5–6); splitting stops when a node holds fewer than the
+minimum leaf count.  Instance weights are supported throughout because the
+paper's preferred imbalance treatment is instance weighting (Table 7).
+
+The same tree, with a variance (MSE) criterion, serves as the base learner
+for GBDT.
+
+Split search is vectorized per feature: one sort plus cumulative class-mass
+arrays evaluate *all* split points of a feature at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError, TrainingError
+
+#: Sentinel feature id marking a leaf node.
+LEAF = -1
+
+
+@dataclass
+class _Split:
+    feature: int
+    threshold: float
+    improvement: float
+    left_index: np.ndarray
+    right_index: np.ndarray
+
+
+class DecisionTree:
+    """A single CART tree.
+
+    Parameters
+    ----------
+    criterion:
+        ``"gini"`` for binary classification (leaf value = weighted positive
+        fraction) or ``"mse"`` for regression (leaf value = weighted mean).
+    max_depth:
+        Depth cap; root is depth 0.
+    min_samples_leaf:
+        Minimum (unweighted) instances in each child of a split — the
+        paper's over-fitting guard, set to 100 in deployment.
+    max_features:
+        ``None`` (all), ``"sqrt"`` (the paper's √N subspace) or an int.
+    seed:
+        Feature-subsampling RNG seed.
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: int = 25,
+        min_samples_leaf: int = 1,
+        max_features: str | int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if criterion not in ("gini", "mse"):
+            raise ModelError(f"unknown criterion {criterion!r}")
+        if max_depth < 1:
+            raise ModelError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ModelError(
+                f"min_samples_leaf must be >= 1, got {min_samples_leaf}"
+            )
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        # Flat array representation, filled by fit().
+        self._feature: np.ndarray | None = None
+        self._threshold: np.ndarray | None = None
+        self._left: np.ndarray | None = None
+        self._right: np.ndarray | None = None
+        self._value: np.ndarray | None = None
+        self._importances: np.ndarray | None = None
+        self._n_features = 0
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "DecisionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2:
+            raise ModelError(f"x must be 2-D, got {x.ndim}-D")
+        if len(x) != len(y):
+            raise ModelError(f"x has {len(x)} rows but y has {len(y)}")
+        if len(x) == 0:
+            raise TrainingError("cannot fit a tree on zero instances")
+        if self.criterion == "gini":
+            labels = set(np.unique(y).tolist())
+            if not labels <= {0.0, 1.0}:
+                raise ModelError(f"gini criterion needs 0/1 labels, got {labels}")
+        if sample_weight is None:
+            sample_weight = np.ones(len(y))
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            if len(sample_weight) != len(y):
+                raise ModelError("sample_weight length mismatch")
+            if np.any(sample_weight < 0):
+                raise ModelError("sample weights must be non-negative")
+
+        self._n_features = x.shape[1]
+        n_candidates = self._resolve_max_features(x.shape[1])
+        rng = np.random.default_rng(self.seed)
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+        importances = np.zeros(x.shape[1])
+        total_weight = sample_weight.sum()
+
+        # (node_id, row indices, depth) — depth-first construction.
+        root_index = np.arange(len(y))
+        stack = [(self._new_node(feature, threshold, left, right, value), root_index, 0)]
+        while stack:
+            node_id, index, depth = stack.pop()
+            w = sample_weight[index]
+            t = y[index]
+            node_value = float(np.average(t, weights=w)) if w.sum() > 0 else float(
+                t.mean()
+            )
+            value[node_id] = node_value
+            if (
+                depth >= self.max_depth
+                or len(index) < 2 * self.min_samples_leaf
+                or _is_pure(t)
+            ):
+                continue
+            split = self._best_split(x, y, sample_weight, index, n_candidates, rng)
+            if split is None:
+                continue
+            importances[split.feature] += split.improvement * (
+                w.sum() / total_weight
+            )
+            feature[node_id] = split.feature
+            threshold[node_id] = split.threshold
+            left_id = self._new_node(feature, threshold, left, right, value)
+            right_id = self._new_node(feature, threshold, left, right, value)
+            left[node_id] = left_id
+            right[node_id] = right_id
+            stack.append((left_id, split.left_index, depth + 1))
+            stack.append((right_id, split.right_index, depth + 1))
+
+        self._feature = np.asarray(feature, dtype=np.int64)
+        self._threshold = np.asarray(threshold, dtype=np.float64)
+        self._left = np.asarray(left, dtype=np.int64)
+        self._right = np.asarray(right, dtype=np.int64)
+        self._value = np.asarray(value, dtype=np.float64)
+        self._importances = importances
+        return self
+
+    @staticmethod
+    def _new_node(feature, threshold, left, right, value) -> int:
+        feature.append(LEAF)
+        threshold.append(0.0)
+        left.append(-1)
+        right.append(-1)
+        value.append(0.0)
+        return len(feature) - 1
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int) and self.max_features >= 1:
+            return min(self.max_features, n_features)
+        raise ModelError(f"bad max_features: {self.max_features!r}")
+
+    def _best_split(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray,
+        index: np.ndarray,
+        n_candidates: int,
+        rng: np.random.Generator,
+    ) -> _Split | None:
+        n_features = x.shape[1]
+        if n_candidates < n_features:
+            candidates = rng.choice(n_features, size=n_candidates, replace=False)
+        else:
+            candidates = np.arange(n_features)
+        w = sample_weight[index]
+        t = y[index]
+        best: _Split | None = None
+        parent_impurity = self._impurity(t, w)
+        w_total = w.sum()
+        if w_total <= 0:
+            return None
+        min_leaf = self.min_samples_leaf
+        for j in candidates:
+            values = x[index, j]
+            order = np.argsort(values, kind="mergesort")
+            v_sorted = values[order]
+            # Candidate boundaries: between distinct values with both sides
+            # holding at least min_samples_leaf instances.
+            boundaries = np.flatnonzero(v_sorted[:-1] != v_sorted[1:])
+            boundaries = boundaries[
+                (boundaries + 1 >= min_leaf)
+                & (len(index) - boundaries - 1 >= min_leaf)
+            ]
+            if len(boundaries) == 0:
+                continue
+            w_sorted = w[order]
+            t_sorted = t[order]
+            cum_w = np.cumsum(w_sorted)
+            if self.criterion == "gini":
+                cum_pos = np.cumsum(w_sorted * t_sorted)
+                w_left = cum_w[boundaries]
+                w_right = w_total - w_left
+                pos_left = cum_pos[boundaries]
+                pos_right = cum_pos[-1] - pos_left
+                gini_left = _gini_from_mass(pos_left, w_left)
+                gini_right = _gini_from_mass(pos_right, w_right)
+                q = w_left / w_total
+                improvement = parent_impurity - q * gini_left - (1 - q) * gini_right
+            else:
+                cum_s = np.cumsum(w_sorted * t_sorted)
+                cum_s2 = np.cumsum(w_sorted * t_sorted * t_sorted)
+                w_left = cum_w[boundaries]
+                w_right = w_total - w_left
+                s_left = cum_s[boundaries]
+                s_right = cum_s[-1] - s_left
+                s2_left = cum_s2[boundaries]
+                s2_right = cum_s2[-1] - s2_left
+                var_left = _variance_from_moments(s_left, s2_left, w_left)
+                var_right = _variance_from_moments(s_right, s2_right, w_right)
+                q = w_left / w_total
+                improvement = (
+                    parent_impurity - q * var_left - (1 - q) * var_right
+                )
+            k = int(np.argmax(improvement))
+            if improvement[k] <= 1e-12:
+                continue
+            if best is None or improvement[k] > best.improvement:
+                b = boundaries[k]
+                thr = 0.5 * (v_sorted[b] + v_sorted[b + 1])
+                go_left = values <= thr
+                # For adjacent floats the midpoint can round onto one of
+                # the two values and sweep every row to one side; such a
+                # split is unusable.
+                if go_left.all() or not go_left.any():
+                    continue
+                best = _Split(
+                    feature=int(j),
+                    threshold=float(thr),
+                    improvement=float(improvement[k]),
+                    left_index=index[go_left],
+                    right_index=index[~go_left],
+                )
+        return best
+
+    def _impurity(self, t: np.ndarray, w: np.ndarray) -> float:
+        w_total = w.sum()
+        if w_total <= 0:
+            return 0.0
+        if self.criterion == "gini":
+            p = float((w * t).sum() / w_total)
+            return 1.0 - p * p - (1 - p) * (1 - p)
+        mean = float((w * t).sum() / w_total)
+        return float((w * (t - mean) ** 2).sum() / w_total)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Leaf values: churner fraction (gini) or mean target (mse)."""
+        return self._value_checked()[self.apply(x)]
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Leaf node id each row lands in (vectorized traversal)."""
+        self._value_checked()
+        assert self._feature is not None and self._threshold is not None
+        assert self._left is not None and self._right is not None
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ModelError(f"x must be 2-D, got {x.ndim}-D")
+        if x.shape[1] != self._n_features:
+            raise ModelError(
+                f"x has {x.shape[1]} features, tree fitted with {self._n_features}"
+            )
+        node = np.zeros(len(x), dtype=np.int64)
+        rows = np.arange(len(x))
+        for _ in range(self.max_depth + 1):
+            feat = self._feature[node]
+            active = feat != LEAF
+            if not active.any():
+                break
+            act_rows = rows[active]
+            act_nodes = node[active]
+            go_left = (
+                x[act_rows, self._feature[act_nodes]]
+                <= self._threshold[act_nodes]
+            )
+            node[act_rows] = np.where(
+                go_left, self._left[act_nodes], self._right[act_nodes]
+            )
+        return node
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Per-feature summed (weighted) Gini/variance improvements (Eq. 7)."""
+        if self._importances is None:
+            raise NotFittedError("tree has not been fitted")
+        return self._importances
+
+    @property
+    def node_count(self) -> int:
+        return len(self._value_checked())
+
+    @property
+    def n_leaves(self) -> int:
+        self._value_checked()
+        assert self._feature is not None
+        return int((self._feature == LEAF).sum())
+
+    def leaf_values(self) -> np.ndarray:
+        """Values of all nodes (leaves carry the predictions)."""
+        return self._value_checked().copy()
+
+    def set_leaf_values(self, values: np.ndarray) -> None:
+        """Overwrite node values (used by GBDT's Newton leaf refit)."""
+        current = self._value_checked()
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != current.shape:
+            raise ModelError(
+                f"expected {current.shape} values, got {values.shape}"
+            )
+        self._value = values
+
+    def _value_checked(self) -> np.ndarray:
+        if self._value is None:
+            raise NotFittedError("tree has not been fitted")
+        return self._value
+
+
+def _is_pure(t: np.ndarray) -> bool:
+    return bool(np.all(t == t[0]))
+
+
+def _gini_from_mass(pos_mass: np.ndarray, total_mass: np.ndarray) -> np.ndarray:
+    safe = np.maximum(total_mass, 1e-300)
+    p = pos_mass / safe
+    return 1.0 - p * p - (1.0 - p) * (1.0 - p)
+
+
+def _variance_from_moments(
+    s: np.ndarray, s2: np.ndarray, w: np.ndarray
+) -> np.ndarray:
+    safe = np.maximum(w, 1e-300)
+    mean = s / safe
+    return np.maximum(s2 / safe - mean * mean, 0.0)

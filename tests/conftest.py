@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+World simulation is the expensive part, so worlds are session-scoped and
+shared read-only across test modules.  ``tiny_world`` is for structural
+checks (fast); ``small_world`` for statistical/learning checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, ScaleConfig
+from repro.datagen import TelcoSimulator
+from repro.features import WideTableBuilder
+
+
+TINY_SCALE = ScaleConfig(population=600, months=9, seed=11)
+SMALL_SCALE = ScaleConfig(population=1500, months=9, seed=7)
+SMALL_MODEL = ModelConfig(n_trees=12, min_samples_leaf=15, max_depth=10)
+
+
+@pytest.fixture(scope="session")
+def tiny_scale() -> ScaleConfig:
+    return TINY_SCALE
+
+
+@pytest.fixture(scope="session")
+def small_scale() -> ScaleConfig:
+    return SMALL_SCALE
+
+
+@pytest.fixture(scope="session")
+def small_model() -> ModelConfig:
+    return SMALL_MODEL
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    return TelcoSimulator(TINY_SCALE).run()
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return TelcoSimulator(SMALL_SCALE).run()
+
+
+@pytest.fixture(scope="session")
+def small_builder(small_world) -> WideTableBuilder:
+    return WideTableBuilder(small_world)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,154 @@
+"""Unit tests for the mini-HDFS block store, including fault injection."""
+
+import pytest
+
+from repro.dataplat.blockstore import BlockStore
+from repro.errors import StorageError
+
+
+@pytest.fixture()
+def store() -> BlockStore:
+    return BlockStore(num_nodes=3, replication=2, block_size=16)
+
+
+class TestBasics:
+    def test_write_read_round_trip(self, store):
+        payload = b"hello world" * 10
+        store.write("/a/b", payload)
+        assert store.read("/a/b") == payload
+
+    def test_empty_payload(self, store):
+        store.write("/empty", b"")
+        assert store.read("/empty") == b""
+
+    def test_status_reports_blocks(self, store):
+        store.write("/f", b"x" * 40)
+        status = store.status("/f")
+        assert status.length == 40
+        assert status.num_blocks == 3  # ceil(40 / 16)
+        assert all(len(b.replicas) == 2 for b in status.blocks)
+
+    def test_missing_file(self, store):
+        with pytest.raises(StorageError):
+            store.read("/nope")
+
+    def test_exists(self, store):
+        assert not store.exists("/f")
+        store.write("/f", b"x")
+        assert store.exists("/f")
+
+    def test_delete_frees_space(self, store):
+        store.write("/f", b"x" * 100)
+        used = store.physical_bytes
+        assert used > 0
+        store.delete("/f")
+        assert store.physical_bytes < used
+        assert not store.exists("/f")
+
+    def test_overwrite(self, store):
+        store.write("/f", b"one")
+        store.write("/f", b"two")
+        assert store.read("/f") == b"two"
+
+    def test_no_overwrite_flag(self, store):
+        store.write("/f", b"one")
+        with pytest.raises(StorageError):
+            store.write("/f", b"two", overwrite=False)
+
+    def test_list_files(self, store):
+        store.write("/a/x", b"1")
+        store.write("/a/y", b"2")
+        store.write("/b/z", b"3")
+        assert store.list_files("/a") == ["/a/x", "/a/y"]
+
+    def test_replication_accounting(self, store):
+        store.write("/f", b"x" * 32)
+        assert store.physical_bytes == 2 * store.total_bytes
+
+    @pytest.mark.parametrize("path", ["relative", "/trailing/", "/dou//ble"])
+    def test_invalid_paths(self, store, path):
+        with pytest.raises(StorageError):
+            store.write(path, b"x")
+
+
+class TestConstruction:
+    def test_replication_capped_at_nodes(self):
+        store = BlockStore(num_nodes=2, replication=5)
+        store.write("/f", b"x")
+        assert len(store.status("/f").blocks[0].replicas) == 2
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(StorageError):
+            BlockStore(num_nodes=0)
+
+    def test_bad_block_size(self):
+        with pytest.raises(StorageError):
+            BlockStore(block_size=0)
+
+
+class TestFaultInjection:
+    def test_read_survives_single_node_death(self, store):
+        payload = b"replicated data" * 5
+        store.write("/f", payload)
+        store.kill_node(0)
+        assert store.read("/f") == payload
+
+    def test_re_replication_restores_factor(self, store):
+        store.write("/f", b"x" * 64)
+        store.kill_node(0)
+        created = store.re_replicate()
+        # Every block that lost a replica on node 0 got a new one.
+        status = store.status("/f")
+        for block in status.blocks:
+            live = [n for n in block.replicas if n != 0]
+            assert len(live) >= 2
+        assert created >= 0
+
+    def test_read_after_kill_and_rereplicate_and_second_kill(self, store):
+        payload = b"y" * 48
+        store.write("/f", payload)
+        store.kill_node(0)
+        store.re_replicate()
+        store.kill_node(1)
+        assert store.read("/f") == payload
+
+    def test_total_loss_raises(self):
+        store = BlockStore(num_nodes=2, replication=1, block_size=8)
+        store.write("/f", b"z" * 8)
+        status = store.status("/f")
+        only_replica = status.blocks[0].replicas[0]
+        store.kill_node(only_replica)
+        with pytest.raises(StorageError):
+            store.read("/f")
+        with pytest.raises(StorageError):
+            store.re_replicate()
+
+    def test_revive_node(self, store):
+        store.write("/f", b"q" * 32)
+        store.kill_node(0)
+        store.revive_node(0)
+        assert store.read("/f") == b"q" * 32
+
+    def test_corrupt_replica_falls_back_to_healthy_one(self, store):
+        payload = b"checksummed" * 4
+        store.write("/f", payload)
+        status = store.status("/f")
+        store.corrupt_block("/f", 0, status.blocks[0].replicas[0])
+        assert store.read("/f") == payload
+
+    def test_corrupt_all_replicas_fails(self, store):
+        store.write("/f", b"data!" * 4)
+        status = store.status("/f")
+        for node_id in status.blocks[0].replicas:
+            store.corrupt_block("/f", 0, node_id)
+        with pytest.raises(StorageError):
+            store.read("/f")
+
+    def test_kill_unknown_node(self, store):
+        with pytest.raises(StorageError):
+            store.kill_node(99)
+
+    def test_corrupt_bad_block_index(self, store):
+        store.write("/f", b"x")
+        with pytest.raises(StorageError):
+            store.corrupt_block("/f", 5, 0)

@@ -1,0 +1,136 @@
+"""Tests for campaign economics (core.budget)."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import CampaignEconomics, plan_campaign
+from repro.errors import ExperimentError
+
+
+class TestEconomics:
+    def test_expected_profit_formula(self):
+        econ = CampaignEconomics(
+            customer_lifetime_value=200.0,
+            offer_cost=100.0,
+            deadweight_cost=40.0,
+            contact_cost=2.0,
+            retention_rate=0.5,
+        )
+        # p=1: 0.5*(200-100) - 0 - 2 = 48; p=0: -40 - 2 = -42.
+        out = econ.expected_profit(np.array([1.0, 0.0]))
+        assert out.tolist() == [48.0, -42.0]
+
+    def test_breakeven_probability(self):
+        econ = CampaignEconomics(
+            customer_lifetime_value=200.0,
+            offer_cost=100.0,
+            deadweight_cost=40.0,
+            contact_cost=2.0,
+            retention_rate=0.5,
+        )
+        p_star = econ.breakeven_probability
+        assert econ.expected_profit(np.array([p_star]))[0] == pytest.approx(0.0)
+
+    def test_worthless_offer_never_breaks_even(self):
+        econ = CampaignEconomics(
+            customer_lifetime_value=50.0,
+            offer_cost=100.0,  # costs more than the customer is worth
+            retention_rate=0.5,
+            deadweight_cost=0.0,
+            contact_cost=0.0,
+        )
+        assert econ.breakeven_probability == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            CampaignEconomics(customer_lifetime_value=0.0)
+        with pytest.raises(ExperimentError):
+            CampaignEconomics(retention_rate=0.0)
+        with pytest.raises(ExperimentError):
+            CampaignEconomics(offer_cost=-1.0)
+
+    def test_probability_range_checked(self):
+        econ = CampaignEconomics()
+        with pytest.raises(ExperimentError):
+            econ.expected_profit(np.array([1.2]))
+
+
+class TestPlanCampaign:
+    def test_matches_brute_force_optimum(self, rng):
+        p = rng.beta(1, 6, size=500)
+        econ = CampaignEconomics()
+        plan = plan_campaign(p, econ)
+        per = econ.expected_profit(np.sort(p)[::-1])
+        cumulative = np.cumsum(per)
+        brute = int(np.argmax(cumulative)) + 1 if cumulative.max() > 0 else 0
+        assert plan.optimal_depth == brute
+        if brute:
+            assert plan.expected_profit == pytest.approx(cumulative[brute - 1])
+
+    def test_targets_highest_probabilities_first(self, rng):
+        p = rng.random(100)
+        plan = plan_campaign(p)
+        targeted = plan.targeted_rows
+        if len(targeted):
+            threshold = p[targeted].min()
+            untargeted = np.setdiff1d(np.arange(100), targeted)
+            assert np.all(p[untargeted] <= threshold + 1e-12)
+
+    def test_depth_respects_breakeven(self, rng):
+        p = rng.beta(1, 8, size=2000)
+        econ = CampaignEconomics()
+        plan = plan_campaign(p, econ)
+        if plan.optimal_depth:
+            worst_targeted = p[plan.order[plan.optimal_depth - 1]]
+            assert worst_targeted >= econ.breakeven_probability - 0.02
+
+    def test_all_hopeless_list_targets_nobody(self):
+        plan = plan_campaign(np.full(50, 0.001))
+        assert plan.optimal_depth == 0
+        assert plan.expected_profit == 0.0
+        assert len(plan.targeted_rows) == 0
+
+    def test_all_certain_churners_target_everyone(self):
+        plan = plan_campaign(np.full(50, 0.99))
+        assert plan.optimal_depth == 50
+
+    def test_render(self, rng):
+        plan = plan_campaign(rng.random(100))
+        text = plan.render(marks=(10, 50))
+        assert "Campaign plan" in text
+        assert "depth 10" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            plan_campaign(np.array([]))
+
+    def test_on_model_scores(self, small_world, small_scale, small_model):
+        """End to end: calibrated churn scores → profitable, finite plan."""
+        from repro.core.pipeline import ChurnPipeline
+        from repro.core.window import WindowSpec
+        from repro.ml.calibration import IsotonicCalibrator
+
+        pipeline = ChurnPipeline(
+            small_world, small_scale, categories=("F1",), model=small_model
+        )
+        calib = pipeline.run_window(WindowSpec((4,), 5))
+        test = pipeline.run_window(WindowSpec((4,), 6))
+        calibrated = IsotonicCalibrator().fit(
+            calib.scores, calib.labels
+        ).transform(test.scores)
+        plan = plan_campaign(calibrated)
+        # Somebody is worth contacting, but never the whole base.
+        assert 0 < plan.optimal_depth < len(calibrated)
+        assert plan.expected_profit > 0
+        # Realized profit on true labels at the chosen depth is positive.
+        econ = plan.economics
+        targeted = plan.targeted_rows
+        churners = test.labels[targeted].sum()
+        stayers = len(targeted) - churners
+        realized = (
+            churners * econ.retention_rate
+            * (econ.customer_lifetime_value - econ.offer_cost)
+            - stayers * econ.deadweight_cost
+            - len(targeted) * econ.contact_cost
+        )
+        assert realized > 0

@@ -1,0 +1,96 @@
+"""Tests for configuration objects and paper constants."""
+
+import pytest
+
+from repro.config import (
+    PAPER,
+    PAPER_POPULATION,
+    PAPER_TOP_U,
+    ModelConfig,
+    PaperConstants,
+    RunConfig,
+    ScaleConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperConstants:
+    def test_section5_values(self):
+        assert PAPER.churn_grace_days == 15
+        assert PAPER.window_months == 4
+        assert PAPER.pagerank_damping == 0.85
+        assert PAPER.lda_topics == 10
+        assert PAPER.second_order_features == 20
+        assert PAPER.rf_trees == 500
+        assert PAPER.rf_min_leaf == 100
+        assert PAPER.learning_rate == 0.1
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PAPER.churn_grace_days = 30  # type: ignore[misc]
+
+    def test_table1_scale(self):
+        assert PAPER_POPULATION == 2_100_000
+        assert PAPER_TOP_U[0] == 50_000
+        assert PAPER_TOP_U[-1] == 400_000
+
+    def test_churn_rates(self):
+        constants = PaperConstants()
+        assert constants.prepaid_churn_rate > constants.postpaid_churn_rate
+
+
+class TestScaleConfig:
+    def test_defaults(self):
+        scale = ScaleConfig()
+        assert scale.months == 9
+
+    def test_scale_factor(self):
+        scale = ScaleConfig(population=21_000)
+        assert scale.scale_factor == pytest.approx(0.01)
+
+    def test_scaled_u_rounds_and_floors(self):
+        scale = ScaleConfig(population=2_100)
+        assert scale.scaled_u(50_000) == 50
+        assert scale.scaled_u(1) == 1  # floor at 1
+
+    def test_scaled_top_u_matches_paper_list(self):
+        scale = ScaleConfig(population=21_000)
+        assert scale.scaled_top_u() == tuple(
+            u // 100 for u in PAPER_TOP_U
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ScaleConfig(population=10)
+        with pytest.raises(ConfigError):
+            ScaleConfig(months=0)
+        with pytest.raises(ConfigError):
+            ScaleConfig().scaled_u(0)
+
+
+class TestModelConfig:
+    def test_paper_settings(self):
+        cfg = ModelConfig.paper_settings()
+        assert cfg.n_trees == 500
+        assert cfg.min_samples_leaf == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ModelConfig(n_trees=0)
+        with pytest.raises(ConfigError):
+            ModelConfig(min_samples_leaf=0)
+        with pytest.raises(ConfigError):
+            ModelConfig(learning_rate=0.0)
+        with pytest.raises(ConfigError):
+            ModelConfig(learning_rate=1.5)
+
+
+class TestRunConfig:
+    def test_presets_are_consistent(self):
+        small = RunConfig.small()
+        bench = RunConfig.bench()
+        assert small.scale.population < bench.scale.population
+        assert small.model.n_trees <= bench.model.n_trees
+
+    def test_seed_propagates(self):
+        assert RunConfig.small(seed=42).scale.seed == 42

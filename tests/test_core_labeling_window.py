@@ -1,0 +1,114 @@
+"""Tests for churn labeling and the sliding-window protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import (
+    churn_labels,
+    dataset_statistics,
+    labels_from_delays,
+    recharge_delay_histogram,
+)
+from repro.core.window import SlidingWindow, WindowSpec
+from repro.errors import ExperimentError
+
+
+class TestLabelingRule:
+    def test_rule_on_delays(self):
+        delays = np.array([-1, 1, 15, 16, 30])
+        labels = labels_from_delays(delays)
+        assert labels.tolist() == [True, False, False, True, True]
+
+    def test_custom_grace(self):
+        delays = np.array([5, 10])
+        assert labels_from_delays(delays, grace_days=4).tolist() == [True, True]
+
+    def test_labels_match_simulator_truth(self, tiny_world):
+        # The labeling pipeline reads tables; the simulator knows the truth.
+        for month in range(1, tiny_world.n_months + 1):
+            derived = churn_labels(tiny_world, month)
+            assert np.array_equal(derived, tiny_world.month(month).churn_next)
+
+    def test_month_out_of_range(self, tiny_world):
+        with pytest.raises(ExperimentError):
+            churn_labels(tiny_world, 0)
+        with pytest.raises(ExperimentError):
+            churn_labels(tiny_world, tiny_world.n_months + 1)
+
+    def test_histogram_shape(self, tiny_world):
+        days, counts = recharge_delay_histogram(tiny_world)
+        assert days.tolist() == list(range(1, 31))
+        assert counts.sum() > 0
+        # Figure 5: early recharges dominate; the 15+ tail is tiny.
+        assert counts[:5].sum() > counts[15:].sum()
+
+    def test_dataset_statistics_consistent(self, tiny_world):
+        rows = dataset_statistics(tiny_world)
+        assert len(rows) == tiny_world.n_months
+        for row in rows:
+            assert row["churners"] + row["non_churners"] == row["total"]
+            assert 0.05 < row["churn_rate"] < 0.14
+
+
+class TestWindowSpec:
+    def test_label_month(self):
+        spec = WindowSpec((4,), 5)
+        assert spec.label_month == 6
+
+    def test_lead_changes_label_month(self):
+        assert WindowSpec((2,), 5, lead=3).label_month == 8
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            WindowSpec((), 5)
+        with pytest.raises(ExperimentError):
+            WindowSpec((5,), 5)
+        with pytest.raises(ExperimentError):
+            WindowSpec((1,), 5, lead=0)
+
+
+class TestSlidingWindow:
+    def test_windows_one_month(self, tiny_world):
+        sw = SlidingWindow(tiny_world)
+        specs = sw.windows(n_train_months=1, test_months=[6])
+        assert specs == [WindowSpec((5,), 6)]
+
+    def test_windows_four_months(self, tiny_world):
+        sw = SlidingWindow(tiny_world)
+        specs = sw.windows(n_train_months=4, test_months=[7])
+        assert specs[0].train_months == (3, 4, 5, 6)
+
+    def test_windows_skip_invalid(self, tiny_world):
+        sw = SlidingWindow(tiny_world)
+        specs = sw.windows(n_train_months=1)
+        # Month 1 has no earlier training month; the last month labels via
+        # the final recharge table.
+        tests = [s.test_month for s in specs]
+        assert 1 not in tests
+        assert tiny_world.n_months in tests
+
+    def test_lead_windows(self, tiny_world):
+        sw = SlidingWindow(tiny_world)
+        specs = sw.windows(n_train_months=1, lead=2, test_months=[5])
+        spec = specs[0]
+        assert spec.train_months == (3,)
+        assert spec.lead == 2
+        assert spec.label_month == 7
+
+    def test_no_valid_windows_raises(self, tiny_world):
+        sw = SlidingWindow(tiny_world)
+        with pytest.raises(ExperimentError):
+            sw.windows(n_train_months=50)
+
+    def test_eligible_mask_lead_one(self, tiny_world):
+        sw = SlidingWindow(tiny_world)
+        spec = WindowSpec((4,), 5)
+        mask = sw.eligible_mask(spec, 5)
+        assert np.array_equal(mask, tiny_world.month(5).eligible)
+
+    def test_eligible_mask_excludes_gap_churners(self, tiny_world):
+        sw = SlidingWindow(tiny_world)
+        spec = WindowSpec((2,), 4, lead=2)
+        mask = sw.eligible_mask(spec, 4)
+        # Customers churning in month 5 (the gap) are excluded.
+        assert not np.any(mask & tiny_world.month(4).churn_next)

@@ -1,0 +1,104 @@
+"""Tests for the retention campaign system."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ChurnPipeline
+from repro.core.retention import RetentionCampaign, TierOutcome
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_world, small_scale, small_model):
+    return ChurnPipeline(
+        small_world, small_scale, categories=("F1",), model=small_model
+    )
+
+
+@pytest.fixture(scope="module")
+def study(pipeline):
+    campaign = RetentionCampaign(pipeline, seed=5)
+    return campaign.run_study((8, 9))
+
+
+class TestTierOutcome:
+    def test_rate(self):
+        assert TierOutcome("A", "top50k", 100, 7).rate == pytest.approx(0.07)
+
+    def test_rate_empty(self):
+        assert TierOutcome("A", "top50k", 0, 0).rate == 0.0
+
+
+class TestStudyStructure:
+    def test_two_waves(self, study):
+        assert [c.strategy for c in study] == ["expert", "matched"]
+        assert [c.month for c in study] == [8, 9]
+
+    def test_all_cells_present(self, study):
+        for campaign in study:
+            cells = {(c.group, c.tier) for c in campaign.outcomes}
+            assert cells == {
+                ("A", "top50k"), ("A", "50k-100k"),
+                ("B", "top50k"), ("B", "50k-100k"),
+            }
+
+    def test_rate_accessor(self, study):
+        campaign = study[0]
+        assert campaign.rate("A", "top50k") == campaign.outcomes[0].rate
+        with pytest.raises(ExperimentError):
+            campaign.rate("C", "top50k")
+
+    def test_treated_arrays_consistent(self, study):
+        for campaign in study:
+            assert len(campaign.treated_slots) == len(campaign.treated_offers)
+            assert len(campaign.treated_slots) == len(campaign.treated_labels)
+            assert campaign.treated_offers.min() >= 1
+
+    def test_labels_zero_or_offered(self, study):
+        for campaign in study:
+            accepted = campaign.treated_labels > 0
+            assert np.array_equal(
+                campaign.treated_labels[accepted],
+                campaign.treated_offers[accepted],
+            )
+
+
+class TestBusinessShape:
+    def test_offers_lift_recharge_rate(self, study):
+        # Table 6: group B (with offers) beats group A (control) in both
+        # months, pooled over tiers to damp small-sample noise.
+        for campaign in study:
+            a_total = sum(c.total for c in campaign.outcomes if c.group == "A")
+            a_hit = sum(c.recharged for c in campaign.outcomes if c.group == "A")
+            b_total = sum(c.total for c in campaign.outcomes if c.group == "B")
+            b_hit = sum(c.recharged for c in campaign.outcomes if c.group == "B")
+            assert b_hit / b_total > a_hit / a_total
+
+    def test_control_rate_low(self, study):
+        # Predicted churners without offers mostly do not recharge.
+        for campaign in study:
+            a_total = sum(c.total for c in campaign.outcomes if c.group == "A")
+            a_hit = sum(c.recharged for c in campaign.outcomes if c.group == "A")
+            assert a_hit / a_total < 0.35
+
+
+class TestValidation:
+    def test_matched_requires_training(self, pipeline):
+        campaign = RetentionCampaign(pipeline, seed=1)
+        with pytest.raises(ExperimentError):
+            campaign.run_campaign(9, strategy="matched")
+
+    def test_unknown_strategy(self, pipeline):
+        campaign = RetentionCampaign(pipeline, seed=1)
+        with pytest.raises(ExperimentError):
+            campaign.run_campaign(8, strategy="coupon")
+
+    def test_nonconsecutive_months_rejected(self, pipeline):
+        campaign = RetentionCampaign(pipeline, seed=1)
+        with pytest.raises(ExperimentError):
+            campaign.run_study((5, 8))
+
+    def test_too_early_campaign_rejected(self, pipeline):
+        campaign = RetentionCampaign(pipeline, seed=1)
+        with pytest.raises(ExperimentError):
+            campaign.run_campaign(2, strategy="expert")

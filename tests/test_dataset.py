@@ -1,0 +1,140 @@
+"""Unit tests for the partitioned Dataset (mini-RDD)."""
+
+import numpy as np
+import pytest
+
+from repro.dataplat.dataset import Dataset
+from repro.dataplat.table import Table
+from repro.errors import ExecutionError
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_arrays(
+        imsi=np.arange(10), dur=np.linspace(0, 9, 10)
+    )
+
+
+class TestConstruction:
+    def test_from_table_partitions(self, table):
+        ds = Dataset.from_table(table, num_partitions=3)
+        assert ds.num_partitions == 3
+        assert ds.count() == 10
+
+    def test_from_table_bad_partitions(self, table):
+        with pytest.raises(ExecutionError):
+            Dataset.from_table(table, num_partitions=0)
+
+    def test_from_partitions(self, table):
+        ds = Dataset.from_partitions([table, table])
+        assert ds.count() == 20
+
+    def test_from_partitions_schema_mismatch(self, table):
+        with pytest.raises(ExecutionError):
+            Dataset.from_partitions([table, table.select(["imsi"])])
+
+    def test_from_partitions_empty(self):
+        with pytest.raises(ExecutionError):
+            Dataset.from_partitions([])
+
+
+class TestTransformations:
+    def test_filter(self, table):
+        ds = Dataset.from_table(table, 4).filter(lambda t: t["dur"] > 5)
+        assert ds.count() == 4
+
+    def test_select(self, table):
+        ds = Dataset.from_table(table, 2).select(["dur"])
+        assert ds.schema.names == ("dur",)
+
+    def test_union(self, table):
+        a = Dataset.from_table(table, 2)
+        b = Dataset.from_table(table, 3)
+        assert a.union(b).count() == 20
+
+    def test_union_schema_mismatch(self, table):
+        a = Dataset.from_table(table, 2)
+        b = Dataset.from_table(table.select(["imsi"]), 2)
+        with pytest.raises(ExecutionError):
+            a.union(b)
+
+    def test_map_partitions_schema_checked(self, table):
+        ds = Dataset.from_table(table, 2)
+        with pytest.raises(ExecutionError):
+            # Declares the same schema but produces a projection.
+            ds.map_partitions(lambda t: t.select(["imsi"]), ds.schema).collect()
+
+    def test_shuffle_colocates_keys(self, table):
+        ds = Dataset.from_table(table, 3).repartition_by_key("imsi", 4)
+        assert ds.num_partitions == 4
+        assert ds.count() == 10
+        # Every imsi value must live in exactly one partition.
+        seen: dict[int, int] = {}
+        for i in range(ds.num_partitions):
+            part = ds._partition(i)
+            for v in part["imsi"].tolist():
+                assert v not in seen
+                seen[v] = i
+        assert len(seen) == 10
+
+    def test_join(self, table):
+        other = Table.from_arrays(imsi=np.array([0, 1, 2]), age=np.array([30, 40, 50]))
+        joined = Dataset.from_table(table, 2).join(
+            Dataset.from_table(other, 2), on="imsi", num_partitions=3
+        )
+        out = joined.collect()
+        assert out.num_rows == 3
+        assert set(out.schema.names) >= {"imsi", "dur", "age"}
+
+
+class TestActions:
+    def test_collect_round_trip(self, table):
+        out = Dataset.from_table(table, 3).collect()
+        assert out.num_rows == table.num_rows
+        assert sorted(out["imsi"].tolist()) == sorted(table["imsi"].tolist())
+
+    def test_reduce_sum(self, table):
+        ds = Dataset.from_table(table, 3)
+        assert ds.reduce_column("dur", "sum") == pytest.approx(table["dur"].sum())
+
+    def test_reduce_min_max(self, table):
+        ds = Dataset.from_table(table, 3)
+        assert ds.reduce_column("dur", "min") == 0.0
+        assert ds.reduce_column("dur", "max") == 9.0
+
+    def test_reduce_unknown_fn(self, table):
+        with pytest.raises(ExecutionError):
+            Dataset.from_table(table, 2).reduce_column("dur", "median")
+
+    def test_partitions_cached(self, table):
+        calls = []
+
+        def tracked(t: Table) -> Table:
+            calls.append(1)
+            return t
+
+        ds = Dataset.from_table(table, 2).map_partitions(
+            tracked, table.schema, op="tracked"
+        )
+        ds.count()
+        ds.count()
+        assert len(calls) == 2  # once per partition, not per action
+
+
+class TestLineage:
+    def test_lineage_records_operations(self, table):
+        ds = (
+            Dataset.from_table(table, 2)
+            .filter(lambda t: t["dur"] > 1)
+            .select(["imsi"])
+        )
+        chain = ds.lineage()
+        assert chain[0].startswith("from_table")
+        assert "filter" in chain
+        assert "select" in chain
+
+    def test_lineage_covers_both_union_parents(self, table):
+        a = Dataset.from_table(table, 1)
+        b = Dataset.from_table(table, 1)
+        chain = a.union(b).lineage()
+        assert chain.count("from_table[1]") == 2

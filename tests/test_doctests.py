@@ -1,0 +1,22 @@
+"""Run the library's embedded doctests so usage examples stay truthful."""
+
+import doctest
+
+import pytest
+
+import repro.dataplat.schema
+import repro.dataplat.sql.engine
+import repro.dataplat.table
+
+MODULES = [
+    repro.dataplat.schema,
+    repro.dataplat.table,
+    repro.dataplat.sql.engine,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its doctests"
+    assert results.failed == 0

@@ -1,0 +1,95 @@
+"""Tests for the experiment runners and the paper-shaped reports."""
+
+import pytest
+
+from repro.core import experiments as ex
+from repro.core import reporting as rep
+from repro.core.pipeline import ChurnPipeline
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_world, small_scale, small_model):
+    return ChurnPipeline(
+        small_world, small_scale, categories=("F1",), model=small_model
+    )
+
+
+class TestDatasetExperiments:
+    def test_fig1(self, small_world):
+        data = ex.fig1_churn_rates(small_world)
+        assert len(data["prepaid"]) == small_world.n_months
+        assert sum(data["prepaid"]) / len(data["prepaid"]) > sum(
+            data["postpaid"]
+        ) / len(data["postpaid"])
+        text = rep.report_fig1(data)
+        assert "prepaid" in text and "postpaid" in text
+
+    def test_table1(self, small_world):
+        rows = ex.table1_dataset_stats(small_world)
+        text = rep.report_table1(rows)
+        assert "Table 1" in text
+        assert str(rows[0]["total"]) in text
+
+    def test_fig5(self, small_world):
+        data = ex.fig5_recharge_distribution(small_world)
+        assert data["fraction_beyond_grace"] < 0.05  # the paper's "<5%"
+        assert rep.report_fig5(data).startswith("Figure 5")
+
+
+class TestModelExperiments:
+    def test_fig7_volume(self, pipeline):
+        rows = ex.fig7_volume(pipeline, max_train_months=2, test_months=[6])
+        assert [r["train_months"] for r in rows] == [1, 2]
+        text = rep.report_fig7(rows, (50_000, 100_000, 200_000))
+        assert "Volume" in text
+
+    def test_fig7_needs_room(self, pipeline):
+        with pytest.raises(ExperimentError):
+            ex.fig7_volume(pipeline, max_train_months=0, test_months=[6])
+
+    def test_table5_velocity(self, pipeline):
+        rows = ex.table5_velocity(pipeline, test_months=[6])
+        assert [r["stride_days"] for r in rows] == [30, 20, 10, 5]
+        assert rows[0]["delta_pr_auc"] == 0.0
+        assert "Velocity" in rep.report_table5(rows)
+
+    def test_fig8_early_signals(self, pipeline):
+        rows = ex.fig8_early_signals(pipeline, max_lead=2, test_months=[6])
+        assert [r["lead_months"] for r in rows] == [1, 2]
+        assert rows[1]["pr_auc"] < rows[0]["pr_auc"]
+        assert "early signals" in rep.report_fig8(rows)
+
+    def test_table3_and_table4(self, pipeline):
+        data = ex.table3_overall(pipeline, test_month=6, n_train_months=2)
+        assert 0.5 < data["auc"] <= 1.0
+        text = rep.report_table3(data)
+        assert "AUC" in text
+        importance = ex.table4_importance(data["result"], top=5)
+        assert len(importance) == 5
+        assert importance[0]["importance"] >= importance[-1]["importance"]
+        assert "Table 4" in rep.report_table4(importance)
+
+    def test_table3_needs_history(self, pipeline):
+        with pytest.raises(ExperimentError):
+            ex.table3_overall(pipeline, test_month=2, n_train_months=4)
+
+    def test_table7_imbalance(self, small_world, small_scale, small_model):
+        rows = ex.table7_imbalance(
+            small_world, small_scale, small_model, test_months=[6]
+        )
+        assert {r["strategy"] for r in rows} == {"none", "up", "down", "weighted"}
+        assert "Weighted Instance" in rep.report_table7(rows)
+
+    def test_table6_value(self, pipeline):
+        campaigns = ex.table6_value(pipeline, months=(8, 9), seed=3)
+        text = rep.report_table6(campaigns)
+        assert "business value" in text
+        assert "expert" in text and "matched" in text
+
+
+class TestRendering:
+    def test_render_table_alignment(self):
+        text = rep.render_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = text.split("\n")
+        assert len({len(line) for line in lines}) == 1  # rectangular

@@ -1,0 +1,167 @@
+"""Cross-module integration tests: the whole stack, end to end.
+
+These run the actual deliverable path — simulate a world, push tables
+through the platform, build all nine feature families, train, rank, and run
+a retention campaign — and assert the paper's qualitative findings on a
+small world.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChurnPipeline,
+    ModelConfig,
+    RunConfig,
+    ScaleConfig,
+    TelcoSimulator,
+)
+from repro.core import experiments as ex
+from repro.core.window import WindowSpec
+from repro.dataplat import Catalog, SQLEngine
+from repro.features.spec import ALL_CATEGORIES
+
+
+@pytest.fixture(scope="module")
+def cfg() -> RunConfig:
+    return RunConfig.small(seed=19)
+
+
+@pytest.fixture(scope="module")
+def world(cfg):
+    return TelcoSimulator(cfg.scale).run()
+
+
+@pytest.fixture(scope="module")
+def pipeline(world, cfg):
+    return ChurnPipeline(world, cfg.scale, model=cfg.model, seed=3)
+
+
+class TestPlatformIntegration:
+    def test_sql_over_simulated_world(self, world):
+        """Feature-style SQL over catalog-loaded raw tables works."""
+        catalog = Catalog()
+        world.load_catalog(catalog)
+        engine = SQLEngine(catalog, database="telco")
+        counts = engine.query("SELECT COUNT(*) AS n FROM user_base")
+        assert counts["n"][0] == world.population.size * world.n_months
+        out = engine.query(
+            """
+            SELECT u.town_id, AVG(b.balance) AS avg_balance, COUNT(*) AS n
+            FROM user_base u JOIN billing b ON u.imsi = b.imsi
+            GROUP BY u.town_id
+            ORDER BY u.town_id
+            """
+        )
+        # Joining all-months views matches each customer's user_base rows
+        # with every billing row of the same IMSI: Σ (months present)².
+        imsi_counts: dict[int, int] = {}
+        for data in world.months:
+            for v in data.imsi.tolist():
+                imsi_counts[v] = imsi_counts.get(v, 0) + 1
+        expected = sum(c * c for c in imsi_counts.values())
+        assert out["n"].sum() == expected
+        assert np.all(out["avg_balance"] > 0)
+
+    def test_block_store_holds_the_world(self, world):
+        catalog = Catalog()
+        world.load_catalog(catalog)
+        assert catalog.store.total_bytes > 100_000
+        assert catalog.store.physical_bytes >= catalog.store.total_bytes
+
+
+class TestFullPipeline:
+    def test_full_feature_window(self, pipeline):
+        result = pipeline.run_window(
+            WindowSpec((4, 5), 6), categories=ALL_CATEGORIES
+        )
+        assert result.auc > 0.8
+        assert len(result.feature_names) == 153
+
+    def test_variety_headline(self, pipeline):
+        """OSS features beat the BSS-only baseline (the paper's thesis).
+
+        Averaged over three windows: single-window PR-AUC at this tiny
+        scale carries ±0.05 noise.
+        """
+        months = [5, 6, 7]
+        base = np.mean([
+            pipeline.run_window(WindowSpec((m - 1,), m), categories=("F1",)).pr_auc
+            for m in months
+        ])
+        full = np.mean([
+            pipeline.run_window(
+                WindowSpec((m - 1,), m), categories=ALL_CATEGORIES
+            ).pr_auc
+            for m in months
+        ])
+        # At 1.2k customers, 153 features dilute the √N split sampling and
+        # the OSS lift is not yet visible (it is at the 4k+ bench scale —
+        # see EXPERIMENTS.md); here we only require the full model to stay
+        # in the same band as the baseline.
+        assert full > base - 0.06
+
+    def test_volume_headline(self, pipeline):
+        """More training months do not hurt (Figure 7's direction)."""
+        rows = ex.fig7_volume(pipeline, max_train_months=4, test_months=[6, 7])
+        assert rows[-1]["pr_auc"] > rows[0]["pr_auc"] - 0.02
+
+    def test_early_signal_decay(self, pipeline):
+        """PR-AUC decays with prediction lead (Figure 8's direction)."""
+        rows = ex.fig8_early_signals(pipeline, max_lead=3, test_months=[6])
+        prs = [r["pr_auc"] for r in rows]
+        assert prs[0] > prs[1] > prs[2] * 0.8
+
+    def test_top_of_ranking_is_precise(self, pipeline, cfg):
+        """The deployed system's headline: high precision at the top.
+
+        The scaled top-50k list holds ~29 customers here, so the threshold
+        stays conservative; the bench-scale run reproduces ~0.95.
+        """
+        result = pipeline.run_window(
+            WindowSpec((3, 4, 5), 6), categories=ALL_CATEGORIES
+        )
+        assert result.precision_at[50_000] > 0.45
+
+    def test_imbalance_weighted_competitive(self, world, cfg):
+        rows = ex.table7_imbalance(
+            world, cfg.scale, cfg.model, test_months=[5, 6, 7]
+        )
+        by_strategy = {r["strategy"]: r["pr_auc"] for r in rows}
+        # Scale deviation from the paper (see EXPERIMENTS.md): the
+        # unbalanced baseline is competitive here; weighting must still
+        # beat down-sampling, the variance-heavy treatment.
+        assert by_strategy["weighted"] >= by_strategy["down"] - 0.02
+
+    def test_classifier_comparison_runs(self, world, cfg):
+        rows = ex.fig9_classifiers(
+            world,
+            cfg.scale,
+            ModelConfig(n_trees=10, min_samples_leaf=15, fm_epochs=6,
+                        linear_epochs=10),
+            test_months=[6],
+        )
+        by_clf = {r["classifier"]: r["auc"] for r in rows}
+        assert set(by_clf) == {"rf", "gbdt", "liblinear", "libfm"}
+        # All four are far better than chance; trees competitive with the best.
+        assert min(by_clf.values()) > 0.7
+        assert max(by_clf["rf"], by_clf["gbdt"]) >= max(by_clf.values()) - 0.03
+
+    def test_retention_study(self, pipeline):
+        campaigns = ex.table6_value(pipeline, months=(8, 9), seed=11)
+        for campaign in campaigns:
+            b_total = sum(c.total for c in campaign.outcomes if c.group == "B")
+            b_hit = sum(c.recharged for c in campaign.outcomes if c.group == "B")
+            a_total = sum(c.total for c in campaign.outcomes if c.group == "A")
+            a_hit = sum(c.recharged for c in campaign.outcomes if c.group == "A")
+            assert b_hit / b_total > a_hit / a_total
+
+
+class TestScaleConfig:
+    def test_scaled_u_fraction_invariant(self):
+        scale = ScaleConfig(population=21_000, months=9, seed=0)
+        assert scale.scaled_u(50_000) == 500
+        assert scale.scaled_u(2_100_000) == 21_000
+
+    def test_run_config_presets(self):
+        assert RunConfig.small().scale.population < RunConfig.bench().scale.population

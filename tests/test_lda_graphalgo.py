@@ -1,0 +1,174 @@
+"""Unit tests for LDA and the graph algorithms (PageRank, label propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError, TrainingError
+from repro.ml.graphalgo import label_propagation, pagerank
+from repro.ml.lda import LatentDirichletAllocation
+
+
+def two_topic_corpus(n_docs: int = 200, seed: int = 0):
+    """Docs alternating between two disjoint vocabulary blocks."""
+    rng = np.random.default_rng(seed)
+    docs = []
+    for i in range(n_docs):
+        base = 0 if i % 2 == 0 else 10
+        docs.append(list(rng.integers(base, base + 10, size=15)))
+    return docs
+
+
+class TestLDA:
+    @pytest.mark.parametrize("method", ["bp", "gibbs"])
+    def test_recovers_topic_structure(self, method):
+        docs = two_topic_corpus()
+        lda = LatentDirichletAllocation(
+            n_topics=2, n_iter=30, seed=0, method=method
+        )
+        theta = lda.fit_transform(docs, vocab_size=20)
+        even = theta[::2].argmax(axis=1)
+        odd = theta[1::2].argmax(axis=1)
+        purity = max((even == 0).mean(), (even == 1).mean())
+        assert purity > 0.9
+        assert (even[0] != odd[0]) or purity > 0.95
+
+    def test_theta_rows_are_distributions(self):
+        docs = two_topic_corpus(50)
+        lda = LatentDirichletAllocation(n_topics=3, n_iter=10, seed=0)
+        theta = lda.fit_transform(docs, vocab_size=20)
+        assert theta.shape == (50, 3)
+        assert np.allclose(theta.sum(axis=1), 1.0)
+        assert np.all(theta > 0)
+
+    def test_phi_rows_are_distributions(self):
+        docs = two_topic_corpus(50)
+        lda = LatentDirichletAllocation(n_topics=2, n_iter=10, seed=0)
+        lda.fit_transform(docs, vocab_size=20)
+        phi = lda.topic_word
+        assert phi.shape == (2, 20)
+        assert np.allclose(phi.sum(axis=1), 1.0)
+
+    def test_transform_new_documents(self):
+        docs = two_topic_corpus()
+        lda = LatentDirichletAllocation(n_topics=2, n_iter=20, seed=0)
+        theta_fit = lda.fit_transform(docs, vocab_size=20)
+        theta_new = lda.transform([list(range(0, 10)), list(range(10, 20))])
+        # The two probe docs land on opposite topics.
+        assert theta_new[0].argmax() != theta_new[1].argmax()
+        assert np.allclose(theta_new.sum(axis=1), 1.0)
+        del theta_fit
+
+    def test_transform_empty_doc_uniform(self):
+        docs = two_topic_corpus(20)
+        lda = LatentDirichletAllocation(n_topics=2, n_iter=5, seed=0)
+        lda.fit_transform(docs, vocab_size=20)
+        theta = lda.transform([[]])
+        assert np.allclose(theta[0], 0.5)
+
+    def test_top_words_belong_to_topic_block(self):
+        docs = two_topic_corpus()
+        lda = LatentDirichletAllocation(n_topics=2, n_iter=30, seed=0)
+        lda.fit_transform(docs, vocab_size=20)
+        tops = set(lda.top_words(0, 5))
+        assert tops <= set(range(0, 10)) or tops <= set(range(10, 20))
+
+    def test_empty_corpus_rejected(self):
+        lda = LatentDirichletAllocation(n_topics=2)
+        with pytest.raises(TrainingError):
+            lda.fit_transform([[], []], vocab_size=5)
+
+    def test_out_of_vocab_rejected(self):
+        lda = LatentDirichletAllocation(n_topics=2)
+        with pytest.raises(ModelError):
+            lda.fit_transform([[99]], vocab_size=5)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LatentDirichletAllocation(n_topics=2).transform([[1]])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            LatentDirichletAllocation(n_topics=1)
+        with pytest.raises(ModelError):
+            LatentDirichletAllocation(alpha=0)
+        with pytest.raises(ModelError):
+            LatentDirichletAllocation(method="vb")
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        scores = pagerank(edges, np.ones(3), 3)
+        assert scores.sum() == pytest.approx(1.0, abs=1e-4)
+
+    def test_symmetric_cycle_is_uniform(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        scores = pagerank(edges, np.ones(3), 3)
+        assert np.allclose(scores, scores[0])
+
+    def test_hub_scores_highest(self):
+        # Star graph: node 0 connected to 1..4.
+        edges = np.array([[0, i] for i in range(1, 5)])
+        scores = pagerank(edges, np.ones(4), 5)
+        assert scores.argmax() == 0
+
+    def test_isolated_node_gets_teleport_mass(self):
+        edges = np.array([[0, 1]])
+        scores = pagerank(edges, np.ones(1), 3, damping=0.85)
+        assert scores[2] == pytest.approx(0.15 / 3, abs=1e-6)
+
+    def test_weights_shift_mass(self):
+        # Node 1 distributes to 0 (heavy) and 2 (light).
+        edges = np.array([[0, 1], [1, 2]])
+        scores = pagerank(edges, np.array([10.0, 1.0]), 3)
+        assert scores[0] > scores[2]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            pagerank(np.array([[0, 5]]), np.ones(1), 3)
+        with pytest.raises(ModelError):
+            pagerank(np.array([[0, 1]]), np.array([-1.0]), 2)
+        with pytest.raises(ModelError):
+            pagerank(np.array([[0, 1]]), np.ones(1), 2, damping=1.5)
+
+
+class TestLabelPropagation:
+    def test_seeds_are_clamped(self):
+        edges = np.array([[0, 1], [1, 2]])
+        beliefs = label_propagation(edges, np.ones(2), 3, {0: 1})
+        assert beliefs[0, 1] == pytest.approx(1.0)
+
+    def test_propagation_decays_with_distance(self):
+        # Chain 0-1-2-3-4 with churner seed at 0 and non-churner at 4.
+        edges = np.array([[i, i + 1] for i in range(4)])
+        beliefs = label_propagation(edges, np.ones(4), 5, {0: 1, 4: 0})
+        churn_probs = beliefs[:, 1]
+        assert np.all(np.diff(churn_probs) < 0)
+
+    def test_disconnected_nodes_keep_prior(self):
+        edges = np.array([[0, 1]])
+        beliefs = label_propagation(edges, np.ones(1), 3, {0: 1})
+        assert beliefs[2, 1] == pytest.approx(0.5)
+
+    def test_rows_remain_distributions(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]])
+        beliefs = label_propagation(edges, np.ones(3), 4, {0: 1, 3: 0})
+        assert np.allclose(beliefs.sum(axis=1), 1.0)
+
+    def test_multiclass(self):
+        edges = np.array([[0, 1], [2, 3]])
+        beliefs = label_propagation(
+            edges, np.ones(2), 4, {0: 1, 2: 2}, n_classes=3
+        )
+        assert beliefs[1].argmax() == 1
+        assert beliefs[3].argmax() == 2
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            label_propagation(np.array([[0, 1]]), np.ones(1), 2, {5: 1})
+        with pytest.raises(ModelError):
+            label_propagation(np.array([[0, 1]]), np.ones(1), 2, {0: 7})
+        with pytest.raises(ModelError):
+            label_propagation(
+                np.array([[0, 1]]), np.ones(1), 2, {0: 0}, n_classes=1
+            )

@@ -1,0 +1,131 @@
+"""Tests for model/feature drift monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitoring import (
+    PSI_ALERT,
+    PSI_WATCH,
+    DriftFinding,
+    ModelMonitor,
+    population_stability_index,
+)
+from repro.errors import ExperimentError
+
+
+class TestPSI:
+    def test_identical_samples_near_zero(self, rng):
+        x = rng.normal(size=5000)
+        assert population_stability_index(x, x) < 0.01
+
+    def test_same_distribution_small(self, rng):
+        a = rng.normal(size=5000)
+        b = rng.normal(size=5000)
+        assert population_stability_index(a, b) < PSI_WATCH
+
+    def test_mean_shift_detected(self, rng):
+        a = rng.normal(0, 1, size=5000)
+        b = rng.normal(1.0, 1, size=5000)
+        assert population_stability_index(a, b) > PSI_ALERT
+
+    def test_variance_shift_detected(self, rng):
+        a = rng.normal(0, 1, size=5000)
+        b = rng.normal(0, 3, size=5000)
+        assert population_stability_index(a, b) > PSI_WATCH
+
+    def test_symmetric_enough(self, rng):
+        a = rng.normal(0, 1, size=5000)
+        b = rng.normal(0.5, 1, size=5000)
+        ab = population_stability_index(a, b)
+        ba = population_stability_index(b, a)
+        assert ab == pytest.approx(ba, rel=0.3)
+
+    def test_constant_reference(self):
+        a = np.full(100, 2.0)
+        assert population_stability_index(a, a) == 0.0
+        assert population_stability_index(a, np.full(50, 3.0)) == float("inf")
+
+    def test_validation(self, rng):
+        with pytest.raises(ExperimentError):
+            population_stability_index(np.array([]), np.array([1.0]))
+        with pytest.raises(ExperimentError):
+            population_stability_index(np.ones(5), np.ones(5), n_bins=1)
+
+    def test_low_cardinality_features(self, rng):
+        a = rng.integers(0, 3, size=2000).astype(float)
+        b = rng.integers(0, 3, size=2000).astype(float)
+        assert population_stability_index(a, b) < PSI_WATCH
+
+
+class TestDriftFinding:
+    @pytest.mark.parametrize(
+        "psi,level", [(0.01, "ok"), (0.15, "watch"), (0.5, "ALERT")]
+    )
+    def test_levels(self, psi, level):
+        assert DriftFinding("f", psi).level == level
+
+
+class TestModelMonitor:
+    def test_stable_world_is_healthy(self, small_world):
+        """Adjacent simulated months drift very little."""
+        from repro.features import WideTableBuilder
+
+        builder = WideTableBuilder(small_world)
+        ref = builder.category("F1", 4)
+        cur = builder.category("F1", 5)
+        monitor = ModelMonitor(
+            list(ref.names), ref.values, reference_label="month 4"
+        )
+        report = monitor.compare(cur.values, current_label="month 5")
+        assert report.healthy
+        assert len(report.feature_findings) == ref.n_features
+
+    def test_injected_drift_caught(self, small_world, rng):
+        from repro.features import WideTableBuilder
+
+        builder = WideTableBuilder(small_world)
+        ref = builder.category("F1", 4)
+        cur = builder.category("F1", 5).values.copy()
+        j = ref.names.index("balance")
+        cur[:, j] = cur[:, j] * 4.0 + 50.0  # a broken upstream pipeline
+        monitor = ModelMonitor(list(ref.names), ref.values)
+        report = monitor.compare(cur)
+        assert not report.healthy
+        assert report.worst_features[0].name == "balance"
+
+    def test_score_drift_tracked(self, rng):
+        monitor = ModelMonitor(
+            ["a"],
+            rng.normal(size=(1000, 1)),
+            reference_scores=rng.beta(2, 8, size=1000),
+        )
+        report = monitor.compare(
+            rng.normal(size=(1000, 1)),
+            current_scores=rng.beta(8, 2, size=1000),
+        )
+        assert report.score_finding is not None
+        assert report.score_finding.level == "ALERT"
+
+    def test_churn_rate_carried(self, rng):
+        monitor = ModelMonitor(
+            ["a"], rng.normal(size=(100, 1)), reference_churn_rate=0.09
+        )
+        report = monitor.compare(
+            rng.normal(size=(100, 1)), current_churn_rate=0.12
+        )
+        assert report.reference_churn_rate == 0.09
+        assert report.current_churn_rate == 0.12
+
+    def test_render(self, rng):
+        monitor = ModelMonitor(["a", "b"], rng.normal(size=(500, 2)))
+        report = monitor.compare(rng.normal(size=(500, 2)))
+        text = report.render()
+        assert "Model monitoring" in text
+        assert "HEALTHY" in text
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ExperimentError):
+            ModelMonitor(["a"], rng.normal(size=(10, 2)))
+        monitor = ModelMonitor(["a"], rng.normal(size=(10, 1)))
+        with pytest.raises(ExperimentError):
+            monitor.compare(rng.normal(size=(10, 3)))

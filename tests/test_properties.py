@@ -1,0 +1,255 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dataplat.sql import SQLEngine
+from repro.dataplat.table import Table
+from repro.ml.graphalgo import label_propagation, pagerank
+from repro.ml.metrics import pr_auc, precision_at, recall_at, roc_auc
+from repro.ml.preprocess import QuantileBinner, one_hot
+from repro.ml.sampling import rebalance
+from repro.core.labeling import labels_from_delays
+
+# Bounded float columns (no NaN/inf) keep the relational algebra exact.
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def tables(draw, min_rows=0, max_rows=40):
+    n = draw(st.integers(min_rows, max_rows))
+    keys = draw(
+        st.lists(st.integers(0, 5), min_size=n, max_size=n)
+    )
+    values = draw(st.lists(floats, min_size=n, max_size=n))
+    return Table.from_arrays(
+        k=np.asarray(keys, dtype=np.int64),
+        v=np.asarray(values, dtype=np.float64),
+    )
+
+
+class TestTableProperties:
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_serialization_round_trip(self, table):
+        assert Table.from_bytes(table.to_bytes()) == table
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=50, deadline=None)
+    def test_sort_is_permutation(self, table):
+        out = table.sort_by(["v"])
+        assert sorted(out["v"].tolist()) == sorted(table["v"].tolist())
+        assert np.all(np.diff(out["v"]) >= 0)
+
+    @given(tables())
+    @settings(max_examples=50, deadline=None)
+    def test_mask_then_concat_partitions_rows(self, table):
+        mask = table["k"] % 2 == 0
+        parts = table.mask(mask).concat_rows(table.mask(~mask))
+        assert parts.num_rows == table.num_rows
+        assert sorted(parts["v"].tolist()) == sorted(table["v"].tolist())
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=50, deadline=None)
+    def test_group_by_sum_conserves_total(self, table):
+        grouped = table.group_by(["k"], {"s": ("sum", "v")})
+        assert grouped["s"].sum() == pytest.approx(
+            table["v"].sum(), rel=1e-9, abs=1e-6
+        )
+
+    @given(tables(min_rows=1), tables(min_rows=1))
+    @settings(max_examples=30, deadline=None)
+    def test_inner_join_row_count_formula(self, left, right):
+        out = left.join(right, on=["k"])
+        expected = 0
+        right_counts = {}
+        for k in right["k"].tolist():
+            right_counts[k] = right_counts.get(k, 0) + 1
+        for k in left["k"].tolist():
+            expected += right_counts.get(k, 0)
+        assert out.num_rows == expected
+
+
+class TestSQLProperties:
+    @given(tables(min_rows=1))
+    @settings(max_examples=30, deadline=None)
+    def test_sql_sum_matches_numpy(self, table):
+        engine = SQLEngine()
+        engine.register(table, "t")
+        out = engine.query("SELECT SUM(v) AS s, COUNT(*) AS n FROM t")
+        assert out["s"][0] == pytest.approx(table["v"].sum(), rel=1e-9, abs=1e-6)
+        assert out["n"][0] == table.num_rows
+
+    @given(tables(min_rows=1), st.integers(-5, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_where_equivalent_to_mask(self, table, threshold):
+        engine = SQLEngine()
+        engine.register(table, "t")
+        out = engine.query(f"SELECT v FROM t WHERE k > {threshold}")
+        assert sorted(out["v"].tolist()) == sorted(
+            table.mask(table["k"] > threshold)["v"].tolist()
+        )
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=30, deadline=None)
+    def test_group_count_covers_all_rows(self, table):
+        engine = SQLEngine()
+        engine.register(table, "t")
+        out = engine.query("SELECT k, COUNT(*) AS n FROM t GROUP BY k")
+        assert out["n"].sum() == table.num_rows
+
+
+@st.composite
+def scored_labels(draw):
+    n = draw(st.integers(10, 200))
+    scores = draw(
+        hnp.arrays(np.float64, n, elements=st.floats(0, 1, allow_nan=False))
+    )
+    labels = draw(
+        hnp.arrays(np.int64, n, elements=st.integers(0, 1))
+    )
+    # Guarantee both classes.
+    labels[0] = 0
+    labels[1] = 1
+    return labels, scores
+
+
+class TestMetricProperties:
+    @given(scored_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_complement_under_score_negation(self, data):
+        y, s = data
+        assert roc_auc(y, s) + roc_auc(y, -s) == pytest.approx(1.0)
+
+    @given(scored_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_metric_ranges(self, data):
+        y, s = data
+        assert 0.0 <= roc_auc(y, s) <= 1.0
+        assert 0.0 <= pr_auc(y, s) <= 1.0
+
+    @given(scored_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_recall_monotone_in_u(self, data):
+        y, s = data
+        values = [recall_at(y, s, u) for u in (1, 5, len(y))]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    @given(scored_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_precision_at_full_list_is_base_rate(self, data):
+        y, s = data
+        assert precision_at(y, s, len(y)) == pytest.approx(y.mean())
+
+    @given(scored_labels())
+    @settings(max_examples=60, deadline=None)
+    def test_auc_invariant_to_monotone_transform(self, data):
+        # Scaling by a power of two is exact in floating point, so it is a
+        # strictly monotone transform that cannot create new ties.
+        y, s = data
+        assert roc_auc(y, s) == pytest.approx(roc_auc(y, 4.0 * s))
+
+
+class TestSamplingProperties:
+    @given(st.integers(5, 50), st.integers(5, 50), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_up_down_balance_exactly(self, n_pos, n_neg, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n_pos + n_neg, 2))
+        y = np.concatenate([np.ones(n_pos, int), np.zeros(n_neg, int)])
+        for strategy in ("up", "down"):
+            _, yb, w = rebalance(x, y, strategy, np.random.default_rng(seed))
+            assert (yb == 1).sum() == (yb == 0).sum()
+            assert np.all(w == 1.0)
+
+    @given(st.integers(5, 50), st.integers(5, 50), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_mass_equal(self, n_pos, n_neg, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n_pos + n_neg, 2))
+        y = np.concatenate([np.ones(n_pos, int), np.zeros(n_neg, int)])
+        _, _, w = rebalance(x, y, "weighted")
+        assert w[y == 1].sum() == pytest.approx(w[y == 0].sum())
+
+
+class TestGraphProperties:
+    @st.composite
+    @staticmethod
+    def graphs(draw):
+        n = draw(st.integers(2, 30))
+        m = draw(st.integers(1, 60))
+        edges = []
+        for _ in range(m):
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 1))
+            if a != b:
+                edges.append((a, b))
+        if not edges:
+            edges = [(0, 1)]
+        weights = draw(
+            st.lists(
+                st.floats(0.1, 10, allow_nan=False),
+                min_size=len(edges),
+                max_size=len(edges),
+            )
+        )
+        return np.asarray(edges), np.asarray(weights), n
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_pagerank_mass_bounds(self, graph):
+        # The paper's Eq. 1 hands isolated nodes the teleport mass but they
+        # contribute nothing back, so total mass is conserved only on
+        # graphs without isolated nodes and otherwise shrinks.
+        edges, weights, n = graph
+        scores = pagerank(edges, weights, n)
+        assert np.all(scores > 0)
+        assert scores.sum() <= 1.0 + 1e-4  # iteration tolerance headroom
+        touched = np.zeros(n, dtype=bool)
+        touched[edges.ravel()] = True
+        if touched.all():
+            assert scores.sum() == pytest.approx(1.0, abs=1e-3)
+        else:
+            assert scores[~touched].max() == pytest.approx(0.15 / n, abs=1e-9)
+
+    @given(graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_label_propagation_rows_are_distributions(self, graph):
+        edges, weights, n = graph
+        beliefs = label_propagation(edges, weights, n, {0: 1})
+        assert np.allclose(beliefs.sum(axis=1), 1.0)
+        assert np.all(beliefs >= 0)
+        assert beliefs[0, 1] == pytest.approx(1.0)
+
+
+class TestPreprocessProperties:
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(10, 100), st.integers(1, 5)),
+            elements=floats,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_one_hot_rows_sum_to_columns(self, x):
+        binner = QuantileBinner(n_bins=4).fit(x)
+        onehot = one_hot(binner.transform(x), binner.bin_counts())
+        assert np.all(onehot.sum(axis=1) == x.shape[1])
+
+
+class TestLabelingProperties:
+    @given(
+        hnp.arrays(
+            np.int64, st.integers(1, 200), elements=st.integers(-1, 60)
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rule_matches_direct_definition(self, delays):
+        labels = labels_from_delays(delays)
+        for d, label in zip(delays.tolist(), labels.tolist()):
+            assert label == (d < 0 or d > 15)

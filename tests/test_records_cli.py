@@ -1,0 +1,112 @@
+"""Tests for the vendor record streams + ETL bridge, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.records import (
+    VENDOR_B_CS_FIELDS,
+    adapt_vendor_b_cs,
+    cs_kpi_etl_job,
+    table_records,
+    vendor_b_cs_records,
+)
+from repro.dataplat.catalog import Catalog
+from repro.errors import ETLError
+from repro.__main__ import COMMANDS, build_parser, main
+
+
+class TestRecordStreams:
+    def test_table_records_round_trip(self, tiny_world):
+        table = tiny_world.month(1).tables["cs_kpi"]
+        records = list(table_records(table))
+        assert len(records) == table.num_rows
+        assert records[0]["imsi"] == table["imsi"][0]
+        assert set(records[0]) == set(table.schema.names)
+
+    def test_vendor_b_renames_and_rescales(self, tiny_world, rng):
+        table = tiny_world.month(1).tables["cs_kpi"]
+        record = next(vendor_b_cs_records(table, rng, malformed_fraction=0.0))
+        assert "SUBSCRIBER_ID" in record
+        assert "imsi" not in record
+        # Percent / milliseconds conventions.
+        assert record["DROP_RATE_PCT"] == pytest.approx(
+            float(table["perceived_call_drop_rate"][0]) * 100
+        )
+        assert record["CONN_DELAY_MS"] == pytest.approx(
+            float(table["e2e_conn_delay"][0]) * 1000
+        )
+
+    def test_malformed_fraction_validated(self, tiny_world, rng):
+        table = tiny_world.month(1).tables["cs_kpi"]
+        with pytest.raises(ETLError):
+            list(vendor_b_cs_records(table, rng, malformed_fraction=1.5))
+
+    def test_adapter_inverts_vendor_dialect(self, tiny_world, rng):
+        table = tiny_world.month(1).tables["cs_kpi"]
+        vendor = next(vendor_b_cs_records(table, rng, malformed_fraction=0.0))
+        adapted = adapt_vendor_b_cs(vendor)
+        assert adapted is not None
+        assert adapted["perceived_call_drop_rate"] == pytest.approx(
+            float(table["perceived_call_drop_rate"][0])
+        )
+        assert adapted["e2e_conn_delay"] == pytest.approx(
+            float(table["e2e_conn_delay"][0])
+        )
+
+    def test_adapter_drops_malformed(self):
+        assert adapt_vendor_b_cs({"CALL_SUCC_RATE": 0.9}) is None
+
+    def test_full_etl_round_trip(self, tiny_world, rng):
+        """vendor export → adapter → ETL → catalog ≈ the original table."""
+        table = tiny_world.month(1).tables["cs_kpi"]
+        catalog = Catalog()
+        job = cs_kpi_etl_job()
+        stats = job.run(
+            vendor_b_cs_records(table, rng, malformed_fraction=0.02),
+            catalog,
+        )
+        assert stats.rows_read == table.num_rows
+        assert stats.rows_loaded >= 0.95 * table.num_rows
+        loaded = catalog.load("cs_kpi")
+        # The adapter restored the standard schema and units.
+        assert set(loaded.schema.names) == set(table.schema.names)
+        original = {
+            int(i): float(v)
+            for i, v in zip(table["imsi"], table["perceived_call_drop_rate"])
+        }
+        for imsi, value in zip(
+            loaded["imsi"], loaded["perceived_call_drop_rate"]
+        ):
+            assert value == pytest.approx(original[int(imsi)], abs=1e-9)
+
+    def test_field_map_is_bijective(self):
+        assert len(set(VENDOR_B_CS_FIELDS.values())) == len(VENDOR_B_CS_FIELDS)
+
+
+class TestCLI:
+    def test_parser_lists_all_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.population == 3000
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for command in COMMANDS:
+            if command != "list":
+                assert command in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--population", "600", "--months", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "600" in out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--population", "600", "--months", "3"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])

@@ -1,0 +1,111 @@
+"""Tests for the root-cause extension, validated against simulator truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ChurnPipeline
+from repro.core.rootcause import (
+    CAUSE_GROUPS,
+    RootCauseAnalyzer,
+    SUGGESTED_LEVER,
+    report_root_causes,
+)
+from repro.core.window import WindowSpec
+from repro.errors import ExperimentError
+from repro.features.spec import ALL_CATEGORIES
+
+
+@pytest.fixture(scope="module")
+def analyzed(small_world, small_scale, small_model):
+    pipeline = ChurnPipeline(small_world, small_scale, model=small_model, seed=3)
+    result = pipeline.run_window(WindowSpec((4, 5), 6), categories=ALL_CATEGORIES)
+    features = pipeline.builder.features(6, ALL_CATEGORIES).values[
+        result.test_slots
+    ]
+    return RootCauseAnalyzer(result, features), result
+
+
+class TestSetup:
+    def test_every_cause_has_a_lever(self):
+        assert set(SUGGESTED_LEVER) == set(CAUSE_GROUPS)
+
+    def test_groups_cover_known_features(self, analyzed):
+        analyzer, _ = analyzed
+        assert len(analyzer.group_columns("financial")) >= 4
+        assert len(analyzer.group_columns("data_service_quality")) >= 10
+        assert len(analyzer.group_columns("voice_service_quality")) >= 6
+        assert len(analyzer.group_columns("social")) == 6  # 3 graphs x 2
+
+    def test_unknown_cause_rejected(self, analyzed):
+        analyzer, _ = analyzed
+        with pytest.raises(ExperimentError):
+            analyzer.group_columns("astrology")
+
+    def test_shape_validation(self, analyzed):
+        _, result = analyzed
+        with pytest.raises(ExperimentError):
+            RootCauseAnalyzer(result, np.zeros((3, 3)))
+
+
+class TestAttribution:
+    def test_contributions_nonnegative(self, analyzed):
+        analyzer, _ = analyzed
+        for attribution in analyzer.attribute_top(30):
+            assert all(v >= 0 for v in attribution.contributions.values())
+            assert set(attribution.contributions) == set(CAUSE_GROUPS)
+
+    def test_top_churners_have_material_causes(self, analyzed):
+        analyzer, _ = analyzed
+        attributions = analyzer.attribute_top(20)
+        # For high-scoring customers, neutralizing the dominant cause
+        # should noticeably drop the score.
+        strong = [
+            a for a in attributions
+            if a.contributions[a.dominant_cause] > 0.05
+        ]
+        assert len(strong) > len(attributions) // 2
+
+    def test_attribution_recovers_simulator_reasons(self, analyzed, small_world):
+        """The headline validation: inferred causes track the hidden truth."""
+        analyzer, result = analyzed
+        attributions = analyzer.attribute_top(60)
+        truth = small_world.month(6).churn_reason
+        fin_scores = []
+        nonfin_scores = []
+        for attribution in attributions:
+            reason = truth[attribution.slot]
+            if reason == 0:
+                continue  # not actually a churner (a false positive)
+            share = attribution.contributions["financial"] / max(
+                sum(attribution.contributions.values()), 1e-9
+            )
+            if reason == 1:
+                fin_scores.append(share)
+            else:
+                nonfin_scores.append(share)
+        assert len(fin_scores) > 3
+        # True financial churners get a larger financial share than
+        # quality/social churners do.
+        if nonfin_scores:
+            assert np.mean(fin_scores) > np.mean(nonfin_scores)
+
+    def test_attribute_top_validates_u(self, analyzed):
+        analyzer, _ = analyzed
+        with pytest.raises(ExperimentError):
+            analyzer.attribute_top(0)
+
+    def test_cohort_summary_sums_to_one(self, analyzed):
+        analyzer, _ = analyzed
+        summary = analyzer.cohort_summary(analyzer.attribute_top(25))
+        assert sum(summary.values()) == pytest.approx(1.0)
+
+    def test_cohort_summary_empty_rejected(self, analyzed):
+        analyzer, _ = analyzed
+        with pytest.raises(ExperimentError):
+            analyzer.cohort_summary([])
+
+    def test_report_renders(self, analyzed):
+        analyzer, _ = analyzed
+        text = report_root_causes(analyzer, 15)
+        assert "Root causes" in text
+        assert "cashback" in text

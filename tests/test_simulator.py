@@ -1,0 +1,159 @@
+"""Tests for the telco world simulator — structure and statistical shape."""
+
+import numpy as np
+import pytest
+
+from repro.config import PAPER, ScaleConfig
+from repro.datagen import TelcoSimulator
+from repro.datagen.simulator import MONTHLY_TABLES
+from repro.dataplat.catalog import Catalog
+from repro.errors import SimulationError
+
+
+class TestStructure:
+    def test_emits_all_tables_every_month(self, tiny_world):
+        for data in tiny_world.months:
+            assert set(data.tables) == set(MONTHLY_TABLES)
+
+    def test_right_number_of_months(self, tiny_world, tiny_scale):
+        assert tiny_world.n_months == tiny_scale.months
+
+    def test_month_accessor_is_one_indexed(self, tiny_world):
+        assert tiny_world.month(1).month == 1
+        with pytest.raises(SimulationError):
+            tiny_world.month(0)
+        with pytest.raises(SimulationError):
+            tiny_world.month(99)
+
+    def test_per_customer_tables_have_population_rows(self, tiny_world, tiny_scale):
+        n = tiny_scale.population
+        data = tiny_world.month(3)
+        for name in ("user_base", "cdr_monthly", "billing", "cs_kpi", "ps_kpi"):
+            assert data.tables[name].num_rows == n
+
+    def test_daily_table_has_30_rows_per_customer(self, tiny_world, tiny_scale):
+        data = tiny_world.month(2)
+        assert data.tables["cdr_daily"].num_rows == tiny_scale.population * 30
+
+    def test_truth_arrays_aligned(self, tiny_world, tiny_scale):
+        data = tiny_world.month(4)
+        n = tiny_scale.population
+        for arr in (data.churning_now, data.churn_next, data.eligible, data.risk):
+            assert len(arr) == n
+        assert data.offer_class is not None and len(data.offer_class) == n
+        assert data.churn_reason is not None
+
+    def test_eligibility_is_complement_of_churning(self, tiny_world):
+        for data in tiny_world.months:
+            assert np.array_equal(data.eligible, ~data.churning_now)
+
+    def test_churn_handoff_between_months(self, tiny_world):
+        for a, b in zip(tiny_world.months, tiny_world.months[1:]):
+            assert np.array_equal(a.churn_next, b.churning_now)
+
+    def test_reasons_only_for_churners(self, tiny_world):
+        data = tiny_world.month(5)
+        assert np.all((data.churn_reason > 0) == data.churn_next)
+
+    def test_determinism(self, tiny_scale):
+        a = TelcoSimulator(tiny_scale).run()
+        b = TelcoSimulator(tiny_scale).run()
+        assert np.array_equal(a.month(4).churn_next, b.month(4).churn_next)
+        assert a.month(4).tables["billing"] == b.month(4).tables["billing"]
+
+    def test_different_seeds_differ(self, tiny_scale):
+        a = TelcoSimulator(tiny_scale).run()
+        b = TelcoSimulator(ScaleConfig(
+            population=tiny_scale.population,
+            months=tiny_scale.months,
+            seed=tiny_scale.seed + 1,
+        )).run()
+        assert not np.array_equal(a.month(4).churn_next, b.month(4).churn_next)
+
+
+class TestRebirth:
+    def test_churned_slots_get_new_imsi(self, tiny_world):
+        m4, m5 = tiny_world.month(4), tiny_world.month(5)
+        churned = np.flatnonzero(m4.churning_now)
+        kept = np.flatnonzero(~m4.churning_now)
+        assert np.all(m4.imsi[churned] != m5.imsi[churned])
+        assert np.all(m4.imsi[kept] == m5.imsi[kept])
+
+    def test_reborn_customers_have_fresh_tenure(self, tiny_world):
+        m4, m5 = tiny_world.month(4), tiny_world.month(5)
+        churned = np.flatnonzero(m4.churning_now)
+        tenure_next = m5.tables["user_base"]["innet_dura"]
+        assert np.all(tenure_next[churned] <= 2)
+
+    def test_population_size_constant(self, tiny_world):
+        sizes = {len(m.imsi) for m in tiny_world.months}
+        assert len(sizes) == 1
+
+
+class TestStatisticalShape:
+    def test_churn_rate_near_paper(self, small_world):
+        rates = [m.churn_rate for m in small_world.months]
+        assert abs(np.mean(rates) - PAPER.prepaid_churn_rate) < 0.02
+
+    def test_postpaid_rate_lower(self, small_world):
+        prepaid = np.mean([m.churn_rate for m in small_world.months])
+        postpaid = np.mean(small_world.postpaid_rates)
+        assert postpaid < prepaid
+
+    def test_prechurn_balance_depressed(self, small_world):
+        data = small_world.month(5)
+        balance = data.tables["billing"]["balance"]
+        assert balance[data.churn_next].mean() < 0.6 * balance[~data.churn_next].mean()
+
+    def test_prechurn_throughput_depressed(self, small_world):
+        data = small_world.month(5)
+        tp = data.tables["ps_kpi"]["page_download_throughput"]
+        assert tp[data.churn_next].mean() < tp[~data.churn_next].mean()
+
+    def test_churners_in_recharge_period_do_not_recharge(self, small_world):
+        data = small_world.month(5)
+        events = data.tables["recharge_events"]
+        slots = small_world.population.slots_of(events["imsi"])
+        recharging = np.zeros(small_world.population.size, dtype=bool)
+        recharging[slots] = True
+        assert not np.any(recharging & data.churning_now)
+
+    def test_recharge_delays_match_labels(self, small_world):
+        # Delay rule of the generator is exactly the labeling rule.
+        data = small_world.month(6)
+        rp = data.tables["recharge_period"]
+        late = (rp["delay_days"] < 0) | (rp["delay_days"] > PAPER.churn_grace_days)
+        assert np.array_equal(late, data.churning_now)
+
+    def test_search_intent_tokens_for_churners(self, small_world):
+        data = small_world.month(5)
+        docs = data.tables["search_logs"]["doc"]
+        def intent_share(mask):
+            hits = total = 0
+            for doc in docs[mask]:
+                for token in str(doc).split():
+                    total += 1
+                    hits += token.startswith("srch_t0_")
+            return hits / max(total, 1)
+        assert intent_share(data.churn_next) > 2 * intent_share(~data.churn_next)
+
+    def test_risk_separates_churners(self, small_world):
+        data = small_world.month(5)
+        assert data.risk[data.churn_next].mean() > data.risk[~data.churn_next].mean()
+
+
+class TestCatalogExport:
+    def test_load_catalog_creates_partitions(self, tiny_world):
+        catalog = Catalog()
+        tiny_world.load_catalog(catalog)
+        assert set(catalog.tables("telco")) == set(MONTHLY_TABLES)
+        months = catalog.partitions("cdr_monthly", database="telco")
+        assert len(months) == tiny_world.n_months
+        # recharge_period has the extra label month.
+        assert len(catalog.partitions("recharge_period", database="telco")) == (
+            tiny_world.n_months + 1
+        )
+
+    def test_final_recharge_table_accessible(self, tiny_world):
+        table = tiny_world.recharge_period_for(tiny_world.n_months + 1)
+        assert table.num_rows == tiny_world.population.size

@@ -1,0 +1,230 @@
+"""End-to-end SQL engine tests (parser → planner → executor)."""
+
+import numpy as np
+import pytest
+
+from repro.dataplat.sql import SQLEngine
+from repro.dataplat.table import Table
+from repro.errors import SQLAnalysisError
+
+
+@pytest.fixture()
+def engine() -> SQLEngine:
+    eng = SQLEngine()
+    eng.register(
+        Table.from_arrays(
+            imsi=np.array([1, 2, 3, 4]),
+            dur=np.array([10.0, 20.0, 5.0, 7.0]),
+            kind=np.array(["a", "b", "a", "c"], dtype=object),
+        ),
+        "cdr",
+    )
+    eng.register(
+        Table.from_arrays(
+            imsi=np.array([1, 2, 3]),
+            age=np.array([30, 40, 50]),
+            town=np.array([7, 7, 8]),
+        ),
+        "users",
+    )
+    return eng
+
+
+class TestProjection:
+    def test_select_star(self, engine):
+        out = engine.query("SELECT * FROM cdr")
+        assert out.num_rows == 4
+        assert out.schema.names == ("imsi", "dur", "kind")
+
+    def test_select_columns(self, engine):
+        out = engine.query("SELECT dur, imsi FROM cdr")
+        assert out.schema.names == ("dur", "imsi")
+
+    def test_expressions_and_aliases(self, engine):
+        out = engine.query("SELECT dur * 2 AS d2, dur + 1 plus FROM cdr")
+        assert out["d2"].tolist() == [20.0, 40.0, 10.0, 14.0]
+        assert out["plus"].tolist() == [11.0, 21.0, 6.0, 8.0]
+
+    def test_scalar_functions(self, engine):
+        out = engine.query("SELECT ABS(0 - dur) AS a, SQRT(dur * dur) AS s FROM cdr")
+        assert out["a"].tolist() == out["s"].tolist()
+
+    def test_safe_div(self, engine):
+        out = engine.query("SELECT SAFE_DIV(dur, 0) AS z FROM cdr")
+        assert out["z"].tolist() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_case_when(self, engine):
+        out = engine.query(
+            "SELECT CASE WHEN dur > 8 THEN 1 ELSE 0 END AS big FROM cdr ORDER BY imsi"
+        )
+        assert out["big"].tolist() == [1.0, 1.0, 0.0, 0.0]
+
+    def test_unknown_column_raises(self, engine):
+        with pytest.raises(SQLAnalysisError):
+            engine.query("SELECT nope FROM cdr")
+
+    def test_unknown_function_raises(self, engine):
+        with pytest.raises(SQLAnalysisError):
+            engine.query("SELECT FROB(dur) FROM cdr")
+
+
+class TestFilter:
+    def test_comparison(self, engine):
+        out = engine.query("SELECT imsi FROM cdr WHERE dur >= 10")
+        assert sorted(out["imsi"].tolist()) == [1, 2]
+
+    def test_string_equality(self, engine):
+        out = engine.query("SELECT imsi FROM cdr WHERE kind = 'a'")
+        assert sorted(out["imsi"].tolist()) == [1, 3]
+
+    def test_and_or_not(self, engine):
+        out = engine.query(
+            "SELECT imsi FROM cdr WHERE NOT kind = 'a' AND (dur > 10 OR dur < 8)"
+        )
+        assert sorted(out["imsi"].tolist()) == [2, 4]
+
+    def test_in_list(self, engine):
+        out = engine.query("SELECT imsi FROM cdr WHERE imsi IN (1, 4)")
+        assert sorted(out["imsi"].tolist()) == [1, 4]
+
+    def test_between(self, engine):
+        out = engine.query("SELECT imsi FROM cdr WHERE dur BETWEEN 6 AND 11")
+        assert sorted(out["imsi"].tolist()) == [1, 4]
+
+
+class TestAggregation:
+    def test_global_aggregate(self, engine):
+        out = engine.query("SELECT SUM(dur) AS s, COUNT(*) AS n FROM cdr")
+        assert out["s"].tolist() == [42.0]
+        assert out["n"].tolist() == [4]
+
+    def test_group_by(self, engine):
+        out = engine.query(
+            "SELECT kind, SUM(dur) AS total FROM cdr GROUP BY kind ORDER BY kind"
+        )
+        assert out["kind"].tolist() == ["a", "b", "c"]
+        assert out["total"].tolist() == [15.0, 20.0, 7.0]
+
+    def test_avg_min_max(self, engine):
+        out = engine.query(
+            "SELECT AVG(dur) AS m, MIN(dur) AS lo, MAX(dur) AS hi FROM cdr"
+        )
+        assert out["m"].tolist() == [10.5]
+        assert out["lo"].tolist() == [5.0]
+        assert out["hi"].tolist() == [20.0]
+
+    def test_count_distinct(self, engine):
+        out = engine.query("SELECT COUNT(DISTINCT kind) AS k FROM cdr")
+        assert out["k"].tolist() == [3]
+
+    def test_stddev_variance(self, engine):
+        out = engine.query("SELECT VARIANCE(dur) AS v, STDDEV(dur) AS s FROM cdr")
+        expected = np.var([10.0, 20.0, 5.0, 7.0])
+        assert out["v"][0] == pytest.approx(expected)
+        assert out["s"][0] == pytest.approx(np.sqrt(expected))
+
+    def test_aggregate_arithmetic(self, engine):
+        out = engine.query("SELECT SUM(dur) / COUNT(*) AS mean FROM cdr")
+        assert out["mean"].tolist() == [10.5]
+
+    def test_having(self, engine):
+        out = engine.query(
+            "SELECT kind, COUNT(*) AS n FROM cdr GROUP BY kind HAVING COUNT(*) > 1"
+        )
+        assert out["kind"].tolist() == ["a"]
+
+    def test_aggregate_outside_group_context_raises(self, engine):
+        with pytest.raises(SQLAnalysisError):
+            engine.query("SELECT imsi FROM cdr WHERE SUM(dur) > 1")
+
+    def test_case_inside_aggregate(self, engine):
+        out = engine.query(
+            "SELECT SUM(CASE WHEN kind = 'a' THEN dur ELSE 0 END) AS a_dur FROM cdr"
+        )
+        assert out["a_dur"].tolist() == [15.0]
+
+
+class TestJoins:
+    def test_inner_join(self, engine):
+        out = engine.query(
+            "SELECT u.imsi, u.age, c.dur FROM users u JOIN cdr c ON u.imsi = c.imsi "
+            "ORDER BY u.imsi"
+        )
+        assert out["imsi"].tolist() == [1, 2, 3]
+        assert out["age"].tolist() == [30, 40, 50]
+
+    def test_left_join(self, engine):
+        out = engine.query(
+            "SELECT c.imsi, u.age FROM cdr c LEFT JOIN users u ON c.imsi = u.imsi "
+            "ORDER BY c.imsi"
+        )
+        assert out["imsi"].tolist() == [1, 2, 3, 4]
+        assert out["age"].tolist() == [30, 40, 50, 0]
+
+    def test_join_with_where_and_group(self, engine):
+        out = engine.query(
+            """
+            SELECT u.town, SUM(c.dur) AS total
+            FROM users u JOIN cdr c ON u.imsi = c.imsi
+            WHERE c.dur > 5
+            GROUP BY u.town
+            ORDER BY u.town
+            """
+        )
+        assert out["town"].tolist() == [7]
+        assert out["total"].tolist() == [30.0]
+
+    def test_join_residual_condition(self, engine):
+        out = engine.query(
+            "SELECT u.imsi FROM users u JOIN cdr c ON u.imsi = c.imsi AND c.dur > 10"
+        )
+        assert out["imsi"].tolist() == [2]
+
+    def test_join_without_equality_raises(self, engine):
+        with pytest.raises(SQLAnalysisError):
+            engine.query("SELECT * FROM users u JOIN cdr c ON u.age > c.dur")
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_desc(self, engine):
+        out = engine.query("SELECT imsi FROM cdr ORDER BY dur DESC")
+        assert out["imsi"].tolist() == [2, 1, 4, 3]
+
+    def test_order_by_alias_of_aggregate(self, engine):
+        out = engine.query(
+            "SELECT kind, SUM(dur) AS total FROM cdr GROUP BY kind ORDER BY total DESC"
+        )
+        assert out["kind"].tolist() == ["b", "a", "c"]
+
+    def test_order_by_string_desc(self, engine):
+        out = engine.query("SELECT DISTINCT kind FROM cdr ORDER BY kind DESC")
+        assert out["kind"].tolist() == ["c", "b", "a"]
+
+    def test_limit(self, engine):
+        out = engine.query("SELECT imsi FROM cdr ORDER BY imsi LIMIT 2")
+        assert out["imsi"].tolist() == [1, 2]
+
+    def test_distinct(self, engine):
+        out = engine.query("SELECT DISTINCT kind FROM cdr")
+        assert sorted(out["kind"].tolist()) == ["a", "b", "c"]
+
+
+class TestEngineUtilities:
+    def test_create_table_as(self, engine):
+        engine.create_table_as(
+            "totals", "SELECT kind, SUM(dur) AS total FROM cdr GROUP BY kind"
+        )
+        out = engine.query("SELECT * FROM totals ORDER BY kind")
+        assert out.num_rows == 3
+
+    def test_explain_mentions_operators(self, engine):
+        plan = engine.explain(
+            "SELECT u.imsi FROM users u JOIN cdr c ON u.imsi = c.imsi WHERE u.age > 1"
+        )
+        assert "Join" in plan
+        assert "Scan" in plan
+
+    def test_register_replaces_view(self, engine):
+        engine.register(Table.from_arrays(imsi=np.array([9])), "cdr")
+        out = engine.query("SELECT * FROM cdr")
+        assert out["imsi"].tolist() == [9]

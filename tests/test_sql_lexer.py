@@ -1,0 +1,78 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.dataplat.sql.lexer import Token, TokenType, tokenize
+from repro.errors import SQLSyntaxError
+
+
+def kinds(sql: str) -> list[tuple[TokenType, str]]:
+    return [(t.ttype, t.value) for t in tokenize(sql) if t.ttype is not TokenType.EOF]
+
+
+class TestTokens:
+    def test_keywords_are_case_insensitive(self):
+        out = kinds("select From WHERE")
+        assert out == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        out = kinds("MyTable my_col")
+        assert out == [
+            (TokenType.IDENT, "MyTable"),
+            (TokenType.IDENT, "my_col"),
+        ]
+
+    def test_integer_and_float_numbers(self):
+        out = kinds("1 2.5 .5 1e3 2.5E-2")
+        assert [v for _, v in out] == ["1", "2.5", ".5", "1e3", "2.5E-2"]
+        assert all(t is TokenType.NUMBER for t, _ in out)
+
+    def test_string_literal(self):
+        out = kinds("'hello world'")
+        assert out == [(TokenType.STRING, "hello world")]
+
+    def test_string_escape(self):
+        out = kinds("'it''s'")
+        assert out == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        out = kinds("= <> != <= >= < > + - * / %")
+        assert all(t is TokenType.OPERATOR for t, _ in out)
+        assert [v for _, v in out] == [
+            "=", "<>", "!=", "<=", ">=", "<", ">", "+", "-", "*", "/", "%",
+        ]
+
+    def test_two_char_operators_win(self):
+        out = kinds("a<=b")
+        assert (TokenType.OPERATOR, "<=") in out
+
+    def test_punctuation(self):
+        out = kinds("(a, b.c)")
+        values = [v for _, v in out]
+        assert values == ["(", "a", ",", "b", ".", "c", ")"]
+
+    def test_comments_skipped(self):
+        out = kinds("SELECT -- a comment\n x")
+        assert out == [(TokenType.KEYWORD, "SELECT"), (TokenType.IDENT, "x")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError) as err:
+            tokenize("SELECT @")
+        assert err.value.position == 7
+
+    def test_eof_token_present(self):
+        toks = tokenize("x")
+        assert toks[-1].ttype is TokenType.EOF
+
+    def test_is_keyword_helper(self):
+        tok = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert tok.is_keyword("SELECT")
+        assert not tok.is_keyword("FROM")

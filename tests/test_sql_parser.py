@@ -1,0 +1,196 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.dataplat.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.dataplat.sql.parser import parse
+from repro.errors import SQLSyntaxError
+
+
+class TestSelectList:
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT u.* FROM t u")
+        star = stmt.items[0].expr
+        assert isinstance(star, Star) and star.table == "u"
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y, c FROM t")
+        assert [i.alias for i in stmt.items] == ["x", "y", None]
+
+    def test_expressions(self):
+        stmt = parse("SELECT a + b * 2 FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+
+class TestFromAndJoins:
+    def test_table_alias(self):
+        stmt = parse("SELECT * FROM cdr c")
+        assert stmt.table.name == "cdr"
+        assert stmt.table.binding == "c"
+
+    def test_qualified_table_name(self):
+        stmt = parse("SELECT * FROM telco.cdr")
+        assert stmt.table.name == "telco.cdr"
+
+    def test_inner_join(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.k = b.k")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "inner"
+
+    def test_left_join(self):
+        stmt = parse("SELECT * FROM a LEFT JOIN b ON a.k = b.k")
+        assert stmt.joins[0].kind == "left"
+
+    def test_multiple_joins(self):
+        stmt = parse(
+            "SELECT * FROM a JOIN b ON a.k = b.k LEFT JOIN c ON a.k = c.k"
+        )
+        assert [j.kind for j in stmt.joins] == ["inner", "left"]
+
+    def test_join_requires_on(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM a JOIN b")
+
+
+class TestClauses:
+    def test_where(self):
+        stmt = parse("SELECT * FROM t WHERE a > 1 AND b = 'x'")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_group_by_and_having(self):
+        stmt = parse("SELECT k, COUNT(*) FROM t GROUP BY k HAVING COUNT(*) > 1")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by(self):
+        stmt = parse("SELECT * FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.descending for o in stmt.order_by] == [True, False, False]
+
+    def test_limit(self):
+        assert parse("SELECT * FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_number(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t LIMIT x")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM t garbage !")
+
+
+class TestExpressions:
+    def expr(self, text: str):
+        return parse(f"SELECT {text} FROM t").items[0].expr
+
+    def test_literals(self):
+        assert self.expr("1") == Literal(1)
+        assert self.expr("2.5") == Literal(2.5)
+        assert self.expr("'s'") == Literal("s")
+        assert self.expr("TRUE") == Literal(True)
+        assert self.expr("NULL") == Literal(None)
+
+    def test_negative_number(self):
+        expr = self.expr("-3")
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+
+    def test_qualified_column(self):
+        assert self.expr("u.age") == ColumnRef("age", table="u")
+
+    def test_function_call(self):
+        expr = self.expr("SUM(x)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "SUM"
+
+    def test_count_star(self):
+        expr = self.expr("COUNT(*)")
+        assert isinstance(expr, FunctionCall)
+        assert isinstance(expr.args[0], Star)
+
+    def test_count_distinct(self):
+        expr = self.expr("COUNT(DISTINCT x)")
+        assert expr.distinct
+
+    def test_precedence_and_or(self):
+        expr = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").where
+        assert expr.op == "OR"  # AND binds tighter
+
+    def test_not(self):
+        expr = parse("SELECT * FROM t WHERE NOT a = 1").where
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_parentheses(self):
+        expr = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").where
+        assert expr.op == "AND"
+
+    def test_in_list(self):
+        expr = parse("SELECT * FROM t WHERE a IN (1, 2, 3)").where
+        assert isinstance(expr, InList) and not expr.negated
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = parse("SELECT * FROM t WHERE a NOT IN (1)").where
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_between(self):
+        expr = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 5").where
+        assert isinstance(expr, Between)
+
+    def test_not_between(self):
+        expr = parse("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5").where
+        assert isinstance(expr, Between) and expr.negated
+
+    def test_is_null(self):
+        expr = parse("SELECT * FROM t WHERE a IS NULL").where
+        assert isinstance(expr, IsNull) and not expr.negated
+
+    def test_is_not_null(self):
+        expr = parse("SELECT * FROM t WHERE a IS NOT NULL").where
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_case_when(self):
+        expr = self.expr("CASE WHEN a > 1 THEN 1 WHEN a > 0 THEN 2 ELSE 0 END")
+        assert isinstance(expr, CaseWhen)
+        assert len(expr.branches) == 2
+        assert expr.otherwise == Literal(0)
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT CASE END FROM t")
+
+    def test_neq_normalized(self):
+        expr = parse("SELECT * FROM t WHERE a != 1").where
+        assert expr.op == "<>"
+
+
+class TestExprHelpers:
+    def test_columns_collects_qualified_names(self):
+        stmt = parse("SELECT u.a + b FROM t u WHERE c = 1")
+        assert stmt.items[0].expr.columns() == {"u.a", "b"}
+        assert stmt.where.columns() == {"c"}
+
+    def test_has_aggregate(self):
+        stmt = parse("SELECT SUM(a) / COUNT(*) FROM t")
+        assert stmt.items[0].expr.has_aggregate()
+        stmt2 = parse("SELECT ABS(a) FROM t")
+        assert not stmt2.items[0].expr.has_aggregate()
