@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..dataplat.resilience import PipelineHealthReport
 from ..errors import ExperimentError
 
 #: Conventional PSI alert bands.
@@ -85,6 +86,9 @@ class MonitoringReport:
     score_finding: DriftFinding | None
     reference_churn_rate: float
     current_churn_rate: float
+    #: Resilience accounting from the pipeline run that produced the
+    #: serving scores (None when the pipeline ran without a runtime).
+    pipeline_health: PipelineHealthReport | None = None
 
     @property
     def worst_features(self) -> list[DriftFinding]:
@@ -98,8 +102,13 @@ class MonitoringReport:
         return out
 
     @property
+    def degraded(self) -> bool:
+        """Whether the serving pipeline ran with dropped feature families."""
+        return self.pipeline_health is not None and self.pipeline_health.degraded
+
+    @property
     def healthy(self) -> bool:
-        return not self.alerts
+        return not self.alerts and not self.degraded
 
     def render(self, top: int = 10) -> str:
         lines = [
@@ -117,10 +126,20 @@ class MonitoringReport:
             lines.append(
                 f"    {finding.name:<40} PSI={finding.psi:.4f} [{finding.level}]"
             )
-        lines.append(
-            "  status: " + ("HEALTHY" if self.healthy else
-                            f"{len(self.alerts)} ALERT(S) — retrain/investigate")
-        )
+        if self.pipeline_health is not None:
+            lines.extend(
+                "  " + line for line in self.pipeline_health.render().splitlines()
+            )
+        if self.healthy:
+            status = "HEALTHY"
+        else:
+            problems = []
+            if self.alerts:
+                problems.append(f"{len(self.alerts)} ALERT(S)")
+            if self.degraded:
+                problems.append(self.pipeline_health.status)
+            status = ", ".join(problems) + " — retrain/investigate"
+        lines.append("  status: " + status)
         return "\n".join(lines)
 
 
@@ -171,8 +190,15 @@ class ModelMonitor:
         current_scores: np.ndarray | None = None,
         current_churn_rate: float = 0.0,
         current_label: str = "current",
+        pipeline_health: PipelineHealthReport | None = None,
     ) -> MonitoringReport:
-        """Drift report for a serving month."""
+        """Drift report for a serving month.
+
+        Pass the serving window's :class:`PipelineHealthReport` so the
+        operator report covers resilience (dropped families, repairs,
+        quarantines) next to drift; a degraded pipeline marks the report
+        unhealthy even with zero drift.
+        """
         current_features = np.asarray(current_features, dtype=np.float64)
         if current_features.shape[1] != len(self._names):
             raise ExperimentError(
@@ -203,4 +229,5 @@ class ModelMonitor:
             score_finding=score_finding,
             reference_churn_rate=self._reference_rate,
             current_churn_rate=current_churn_rate,
+            pipeline_health=pipeline_health,
         )

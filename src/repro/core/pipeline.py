@@ -14,6 +14,8 @@ the model that scores a customer saw fresher behaviour.
 
 from __future__ import annotations
 
+import copy
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,7 +23,9 @@ import numpy as np
 from ..config import ModelConfig, ScaleConfig
 from ..datagen.bss import DAYS_PER_MONTH
 from ..datagen.simulator import TelcoWorld
-from ..errors import ExperimentError
+from ..dataplat.blockstore import BlockStore
+from ..dataplat.resilience import PipelineHealthReport
+from ..errors import DataPlatformError, ExperimentError, FeatureError
 from ..features import ALL_CATEGORIES, WideTableBuilder
 from ..ml.metrics import pr_auc, precision_at, recall_at, roc_auc
 from ..ml.sampling import rebalance
@@ -48,6 +52,9 @@ class WindowResult:
     labels: np.ndarray = field(repr=False)
     predictor: ChurnPredictor = field(repr=False)
     feature_names: list[str] = field(repr=False)
+    #: Resilience accounting for degraded-mode runs (None when the pipeline
+    #: runs without a resilience runtime).
+    health: PipelineHealthReport | None = field(default=None, repr=False)
 
     def metric(self, name: str, u: int | None = None) -> float:
         """Uniform metric accessor for reporting code."""
@@ -77,6 +84,9 @@ class ChurnPipeline:
         imbalance: str = "weighted",
         paper_u: tuple[int, ...] = DEFAULT_PAPER_U,
         seed: int = 0,
+        table_source: Callable[[int], dict] | None = None,
+        store: BlockStore | None = None,
+        allow_degraded: bool = False,
     ) -> None:
         unknown = set(categories) - set(ALL_CATEGORIES)
         if unknown:
@@ -89,7 +99,16 @@ class ChurnPipeline:
         self.imbalance = imbalance
         self.paper_u = paper_u
         self.seed = seed
-        self.builder = WideTableBuilder(world, seed=seed)
+        #: ``table_source`` routes raw-table reads through an alternative
+        #: provider (e.g. a catalog over the block store); ``store`` lets the
+        #: per-window health report absorb that store's repair counters;
+        #: ``allow_degraded`` turns on graceful degradation — windows drop
+        #: unbuildable F2..F9 families instead of failing, and each
+        #: :class:`WindowResult` carries a :class:`PipelineHealthReport`.
+        self.allow_degraded = allow_degraded
+        self._table_source = table_source
+        self._store = store
+        self.builder = WideTableBuilder(world, seed=seed, table_source=table_source)
         self.windows = SlidingWindow(world)
         self._label_cache: dict[int, np.ndarray] = {}
 
@@ -112,13 +131,44 @@ class ChurnPipeline:
     def run_window(
         self, spec: WindowSpec, categories: tuple[str, ...] | None = None
     ) -> WindowResult:
-        """Train on the window's labeled months, score its test month."""
+        """Train on the window's labeled months, score its test month.
+
+        With ``allow_degraded`` the window survives missing sources: F2..F9
+        families that cannot be built for every month of the window are
+        dropped (recorded on the health report) and the model trains on the
+        surviving columns, so a degraded platform still ships a churn list.
+        """
         categories = self.categories if categories is None else tuple(categories)
+        health: PipelineHealthReport | None = None
+        storage_before = None
+        if self.allow_degraded:
+            health = PipelineHealthReport()
+            if self._store is not None:
+                storage_before = copy.copy(self._store.health)
+            source_health = getattr(self._table_source, "health", None)
+            if source_health is not None:
+                # Route the source's per-read accounting into this window.
+                self._table_source.health = health
         needs_fit = any(c in ("F7", "F8", "F9") for c in categories)
         if needs_fit:
-            self.builder.fit_extractors(
-                list(spec.train_months),
-                {m: self.labels(m + spec.lead - 1) for m in spec.train_months},
+            try:
+                self.builder.fit_extractors(
+                    list(spec.train_months),
+                    {m: self.labels(m + spec.lead - 1) for m in spec.train_months},
+                )
+            except (FeatureError, DataPlatformError) as exc:
+                if health is None:
+                    raise
+                for family in ("F7", "F8", "F9"):
+                    if family in categories:
+                        health.drop_family(family, f"extractor fit failed: {exc}")
+                categories = tuple(
+                    c for c in categories if c not in ("F7", "F8", "F9")
+                )
+        if health is not None:
+            months = list(spec.train_months) + [spec.test_month]
+            categories = self.builder.surviving_categories(
+                months, categories, health
             )
         x_parts, y_parts = [], []
         feature_names: list[str] = []
@@ -143,8 +193,15 @@ class ChurnPipeline:
 
         predictor = self._fit(x_train, y_train)
         scores = predictor.predict_proba(x_test)
+        if health is not None:
+            if self._store is not None and storage_before is not None:
+                health.absorb_storage(
+                    _storage_delta(storage_before, self._store.health)
+                )
+            predictor.annotate_degradation(health.status)
         return self._result(
-            spec, predictor, test_slots, scores, y_test, feature_names
+            spec, predictor, test_slots, scores, y_test, feature_names,
+            health=health,
         )
 
     def run_windows(
@@ -274,9 +331,11 @@ class ChurnPipeline:
         scores: np.ndarray,
         y_test: np.ndarray,
         feature_names: list[str],
+        health: PipelineHealthReport | None = None,
     ) -> WindowResult:
         u_values = tuple(self.scale.scaled_u(u) for u in self.paper_u)
         return WindowResult(
+            health=health,
             spec=spec,
             auc=roc_auc(y_test, scores),
             pr_auc=pr_auc(y_test, scores),
@@ -294,6 +353,24 @@ class ChurnPipeline:
             predictor=predictor,
             feature_names=list(feature_names),
         )
+
+
+def _storage_delta(before, after):
+    """Per-window view of a shared store's monotonically-growing counters."""
+    from ..dataplat.blockstore import StorageHealth
+
+    return StorageHealth(
+        corrupt_replicas_detected=(
+            after.corrupt_replicas_detected - before.corrupt_replicas_detected
+        ),
+        replicas_repaired=after.replicas_repaired - before.replicas_repaired,
+        replicas_recreated=after.replicas_recreated - before.replicas_recreated,
+        transient_read_failures=(
+            after.transient_read_failures - before.transient_read_failures
+        ),
+        read_retries=after.read_retries - before.read_retries,
+        files_healed=after.files_healed - before.files_healed,
+    )
 
 
 def average_results(results: list[WindowResult]) -> dict:

@@ -48,10 +48,24 @@ class ChurnPredictor:
         self.classifier = classifier
         self.config = config if config is not None else ModelConfig()
         self.seed = seed
+        #: How the features behind this model were assembled: ``"full"``,
+        #: or ``"degraded(F2,...)"`` when the pipeline dropped families
+        #: (see :meth:`annotate_degradation`).  Campaign consumers read
+        #: this off the ranked list's provenance.
+        self.degradation_state = "full"
         self._model = None
         self._binner: QuantileBinner | None = None
         self._bin_counts: list[int] | None = None
         self._n_features = 0
+
+    def annotate_degradation(self, state: str) -> "ChurnPredictor":
+        """Record the pipeline degradation state this model was built under."""
+        self.degradation_state = str(state)
+        return self
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degradation_state != "full"
 
     @property
     def is_linear(self) -> bool:

@@ -15,11 +15,23 @@ Hive / Spark SQL.  This package is a faithful single-process analogue:
   pipeline needs.
 * :mod:`repro.dataplat.etl` — extract-transform-load jobs from raw records
   into catalog tables.
+* :mod:`repro.dataplat.resilience` — the fault-tolerant execution runtime:
+  seeded chaos injection, retry with deterministic backoff, task retry for
+  datasets, and the pipeline health report degraded runs emit.
 """
 
-from .blockstore import BlockStore, FileStatus
+from .blockstore import BlockStore, FileStatus, StorageHealth
 from .catalog import Catalog
 from .dataset import Dataset
+from .resilience import (
+    CatalogTableSource,
+    FaultInjector,
+    FaultPolicy,
+    PipelineHealthReport,
+    RetryPolicy,
+    SimClock,
+    TaskRuntime,
+)
 from .schema import Column, ColumnType, Schema
 from .sql import SQLEngine
 from .table import Table
@@ -27,11 +39,19 @@ from .table import Table
 __all__ = [
     "BlockStore",
     "Catalog",
+    "CatalogTableSource",
     "Column",
     "ColumnType",
     "Dataset",
+    "FaultInjector",
+    "FaultPolicy",
     "FileStatus",
+    "PipelineHealthReport",
+    "RetryPolicy",
     "Schema",
+    "SimClock",
     "SQLEngine",
+    "StorageHealth",
     "Table",
+    "TaskRuntime",
 ]

@@ -13,7 +13,8 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-from ..errors import StorageError
+from ..errors import StorageError, TransientError
+from .resilience import FaultInjector, RetryPolicy, SimClock
 
 #: Default block size.  Real HDFS uses 128 MB; our synthetic tables are small
 #: so a smaller default keeps multiple blocks per file in play.
@@ -27,6 +28,18 @@ class BlockInfo:
     block_id: str
     length: int
     replicas: tuple[int, ...]
+
+
+@dataclass
+class StorageHealth:
+    """Counters for the store's self-healing read path."""
+
+    corrupt_replicas_detected: int = 0
+    replicas_repaired: int = 0
+    replicas_recreated: int = 0
+    transient_read_failures: int = 0
+    read_retries: int = 0
+    files_healed: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,6 +81,19 @@ class BlockStore:
         Replicas per block (capped at ``num_nodes``).
     block_size:
         Bytes per block.
+    fault_injector:
+        Optional chaos source; when set, reads can fail transiently
+        (``read_failure`` faults), which ``retry_policy`` absorbs.
+    retry_policy:
+        Backoff schedule for transient read failures; ``None`` means reads
+        are attempted exactly once.
+    clock:
+        Simulated clock charged for backoff sleeps.
+    auto_repair:
+        When true (the default), the read path self-heals: corrupt replicas
+        are rewritten from a checksum-verified copy and blocks that lost
+        replicas to dead datanodes are re-replicated as soon as a read
+        notices, instead of waiting for a manual :meth:`re_replicate`.
     """
 
     def __init__(
@@ -75,6 +101,10 @@ class BlockStore:
         num_nodes: int = 3,
         replication: int = 2,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        clock: SimClock | None = None,
+        auto_repair: bool = True,
     ) -> None:
         if num_nodes < 1:
             raise StorageError(f"need at least one datanode, got {num_nodes}")
@@ -87,6 +117,16 @@ class BlockStore:
         self._block_size = block_size
         self._files: dict[str, FileStatus] = {}
         self._next_block = 0
+        self._injector = fault_injector
+        self._retry = retry_policy
+        self._clock = clock if clock is not None else SimClock()
+        self._auto_repair = auto_repair
+        self.health = StorageHealth()
+
+    @property
+    def corrupt_replicas_detected(self) -> int:
+        """Checksum failures noticed on the read path (monitoring hook)."""
+        return self.health.corrupt_replicas_detected
 
     # ------------------------------------------------------------------
     # File operations
@@ -114,12 +154,44 @@ class BlockStore:
         return status
 
     def read(self, path: str) -> bytes:
-        """Read the full contents of ``path`` from any live replica."""
+        """Read the full contents of ``path`` from any live replica.
+
+        Transient faults (when a :class:`FaultInjector` is attached) are
+        retried per the store's :class:`RetryPolicy`; corrupt replicas are
+        detected by checksum, skipped, and — with ``auto_repair`` —
+        rewritten from a good copy.  If the read notices any block running
+        below target replication (dead datanode), the file is re-replicated
+        immediately.
+        """
         status = self.status(path)
-        parts = []
-        for block in status.blocks:
-            parts.append(self._fetch_block(block))
-        return b"".join(parts)
+
+        def attempt() -> bytes:
+            return b"".join(self._fetch_block(b) for b in status.blocks)
+
+        def on_retry(retry_index: int, pause: float, exc: BaseException) -> None:
+            self.health.read_retries += 1
+
+        if self._retry is None:
+            payload = attempt()
+        else:
+            payload = self._retry.call(
+                attempt, clock=self._clock, on_retry=on_retry
+            )
+        if self._auto_repair and self._under_replicated(status):
+            self._heal_file(path)
+        return payload
+
+    def _under_replicated(self, status: FileStatus) -> bool:
+        return any(
+            sum(
+                1
+                for nid in block.replicas
+                if self._nodes[nid].alive
+                and block.block_id in self._nodes[nid].blocks
+            )
+            < self._replication
+            for block in status.blocks
+        )
 
     def status(self, path: str) -> FileStatus:
         """Namenode metadata for ``path``."""
@@ -168,24 +240,50 @@ class BlockStore:
     def re_replicate(self) -> int:
         """Restore the replication factor after node deaths.
 
-        Returns the number of new replicas created.  Blocks with no live
-        replica cannot be recovered and raise :class:`StorageError`.
+        Returns the number of new replicas created.  Every recoverable
+        block is healed even when others are lost; blocks with no live
+        replica are collected and reported in one :class:`StorageError` at
+        the end, so a partial scan never leaves earlier files half-restored
+        behind a mid-scan exception.
         """
         created = 0
+        lost: list[str] = []
+        for path in list(self._files):
+            file_created, file_lost = self._restore_file(path)
+            created += file_created
+            lost.extend(f"{blk} of {path}" for blk in file_lost)
+        if lost:
+            raise StorageError(
+                f"{len(lost)} block(s) lost all replicas: {', '.join(lost)}"
+            )
+        return created
+
+    def _restore_file(self, path: str) -> tuple[int, list[str]]:
+        """Re-replicate one file's recoverable blocks.
+
+        Returns ``(replicas created, block ids lost beyond recovery)``.
+        Metadata is updated to reflect exactly what exists, including for
+        partially-lost files (their healthy blocks are still healed).
+        """
+        status = self._files[path]
         live = [n for n in self._nodes if n.alive]
-        for path, status in list(self._files.items()):
-            new_blocks = []
-            for block in status.blocks:
-                live_replicas = [
-                    nid for nid in block.replicas if self._nodes[nid].alive
-                ]
-                if not live_replicas:
-                    raise StorageError(
-                        f"block {block.block_id} of {path} lost all replicas"
-                    )
-                replicas = list(live_replicas)
-                if len(replicas) < self._replication:
-                    payload = self._nodes[replicas[0]].blocks[block.block_id]
+        created = 0
+        lost: list[str] = []
+        new_blocks = []
+        for block in status.blocks:
+            replicas = [
+                nid
+                for nid in block.replicas
+                if self._nodes[nid].alive
+                and block.block_id in self._nodes[nid].blocks
+            ]
+            if not replicas:
+                lost.append(block.block_id)
+                new_blocks.append(BlockInfo(block.block_id, block.length, ()))
+                continue
+            if len(replicas) < self._replication:
+                payload = self._verified_payload(block, replicas)
+                if payload is not None:
                     for node in live:
                         if len(replicas) >= self._replication:
                             break
@@ -194,16 +292,24 @@ class BlockStore:
                         node.blocks[block.block_id] = payload
                         replicas.append(node.node_id)
                         created += 1
-                new_blocks.append(
-                    BlockInfo(block.block_id, block.length, tuple(replicas))
-                )
-            self._files[path] = FileStatus(
-                path=status.path,
-                length=status.length,
-                block_size=status.block_size,
-                replication=status.replication,
-                blocks=tuple(new_blocks),
+                        self.health.replicas_recreated += 1
+            new_blocks.append(
+                BlockInfo(block.block_id, block.length, tuple(replicas))
             )
+        self._files[path] = FileStatus(
+            path=status.path,
+            length=status.length,
+            block_size=status.block_size,
+            replication=status.replication,
+            blocks=tuple(new_blocks),
+        )
+        return created, lost
+
+    def _heal_file(self, path: str) -> int:
+        """Read-path trigger: re-replicate one file, best effort."""
+        created, lost = self._restore_file(path)
+        if created and not lost:
+            self.health.files_healed += 1
         return created
 
     # ------------------------------------------------------------------
@@ -228,15 +334,49 @@ class BlockStore:
             node.blocks[block_id] = chunk
         return BlockInfo(block_id, len(chunk), tuple(n.node_id for n in targets))
 
+    def _verified_payload(
+        self, block: BlockInfo, replicas: list[int]
+    ) -> bytes | None:
+        """A checksum-verified copy of ``block``, or None if all are bad.
+
+        Never hands back a corrupt payload — re-replication must not
+        multiply corruption.
+        """
+        expected = block.block_id.rsplit("_", 1)[-1]
+        for node_id in replicas:
+            chunk = self._nodes[node_id].blocks.get(block.block_id)
+            if chunk is not None and _digest(chunk) == expected:
+                return chunk
+        return None
+
     def _fetch_block(self, block: BlockInfo) -> bytes:
+        if self._injector is not None and self._injector.should("read_failure"):
+            self.health.transient_read_failures += 1
+            raise TransientError(
+                f"injected transient read failure on block {block.block_id}"
+            )
+        expected = block.block_id.rsplit("_", 1)[-1]
+        corrupt_on: list[_DataNode] = []
+        good: bytes | None = None
         for node_id in block.replicas:
             node = self._nodes[node_id]
             if node.alive and block.block_id in node.blocks:
                 chunk = node.blocks[block.block_id]
-                if _digest(chunk) != block.block_id.rsplit("_", 1)[-1]:
-                    continue  # corrupt replica; try the next one
-                return chunk
-        raise StorageError(f"no live replica for block {block.block_id}")
+                if _digest(chunk) != expected:
+                    # Corrupt replica: count it so monitoring and the
+                    # repair path can see it, then try the next copy.
+                    self.health.corrupt_replicas_detected += 1
+                    corrupt_on.append(node)
+                    continue
+                good = chunk
+                break
+        if good is None:
+            raise StorageError(f"no live replica for block {block.block_id}")
+        if self._auto_repair:
+            for node in corrupt_on:
+                node.blocks[block.block_id] = good
+                self.health.replicas_repaired += 1
+        return good
 
     def corrupt_block(self, path: str, block_index: int, node_id: int) -> None:
         """Flip bytes of one replica (fault injection for checksum paths)."""

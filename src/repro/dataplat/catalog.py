@@ -153,6 +153,19 @@ class Catalog:
     def exists(self, name: str, database: str = "default") -> bool:
         return (database, name) in self._tables
 
+    def clear_cache(self) -> None:
+        """Drop cached deserialized tables (temp views are kept).
+
+        Subsequent loads re-read from the block store — the path chaos
+        tests exercise; ``save`` and ``load`` both repopulate the cache, so
+        this only costs one deserialization per table.
+        """
+        self._cache = {
+            path: table
+            for path, table in self._cache.items()
+            if path.startswith("/tmpview/")
+        }
+
     def drop(self, name: str, database: str = "default") -> None:
         """Drop a table and delete its files."""
         key = self._resolve(name, database)

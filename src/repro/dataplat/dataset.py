@@ -16,6 +16,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..errors import ExecutionError
+from .resilience import TaskRuntime
 from .schema import Schema
 from .table import Table
 
@@ -29,6 +30,11 @@ class Dataset:
     Construction is cheap: transformations build a plan (a chain of parent
     datasets plus per-partition thunks); partitions are computed on first
     action and cached, like Spark's ``persist``.
+
+    An optional :class:`~repro.dataplat.resilience.TaskRuntime` (inherited
+    by every derived dataset) executes partition tasks under fault
+    injection and retry; a retried task re-invokes its thunk, recomputing
+    uncached ancestors — recovery by lineage, as in Spark.
     """
 
     def __init__(
@@ -37,19 +43,31 @@ class Dataset:
         partition_thunks: Sequence[Callable[[], Table]],
         op: str,
         parents: Sequence["Dataset"] = (),
+        runtime: TaskRuntime | None = None,
     ) -> None:
         self._schema = schema
         self._thunks = list(partition_thunks)
         self._cache: list[Table | None] = [None] * len(partition_thunks)
         self._op = op
         self._parents = tuple(parents)
+        if runtime is None:
+            for parent in self._parents:
+                if parent._runtime is not None:
+                    runtime = parent._runtime
+                    break
+        self._runtime = runtime
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_table(cls, table: Table, num_partitions: int = 4) -> "Dataset":
+    def from_table(
+        cls,
+        table: Table,
+        num_partitions: int = 4,
+        runtime: TaskRuntime | None = None,
+    ) -> "Dataset":
         """Split a table into ``num_partitions`` row ranges."""
         if num_partitions < 1:
             raise ExecutionError(f"num_partitions must be >= 1, got {num_partitions}")
@@ -58,10 +76,19 @@ class Dataset:
         for lo, hi in zip(bounds[:-1], bounds[1:]):
             indices = np.arange(lo, hi)
             thunks.append(lambda t=table, ix=indices: t.take(ix))
-        return cls(table.schema, thunks, op=f"from_table[{num_partitions}]")
+        return cls(
+            table.schema,
+            thunks,
+            op=f"from_table[{num_partitions}]",
+            runtime=runtime,
+        )
 
     @classmethod
-    def from_partitions(cls, partitions: Sequence[Table]) -> "Dataset":
+    def from_partitions(
+        cls,
+        partitions: Sequence[Table],
+        runtime: TaskRuntime | None = None,
+    ) -> "Dataset":
         """Wrap pre-built tables (all must share a schema)."""
         if not partitions:
             raise ExecutionError("need at least one partition")
@@ -70,7 +97,12 @@ class Dataset:
             if p.schema != schema:
                 raise ExecutionError("partitions have differing schemas")
         thunks = [lambda t=p: t for p in partitions]
-        return cls(schema, thunks, op=f"from_partitions[{len(partitions)}]")
+        return cls(
+            schema,
+            thunks,
+            op=f"from_partitions[{len(partitions)}]",
+            runtime=runtime,
+        )
 
     # ------------------------------------------------------------------
     # Properties
@@ -83,6 +115,11 @@ class Dataset:
     @property
     def num_partitions(self) -> int:
         return len(self._thunks)
+
+    @property
+    def runtime(self) -> TaskRuntime | None:
+        """The task runtime partition tasks execute under (if any)."""
+        return self._runtime
 
     def lineage(self) -> list[str]:
         """Operations from root to this dataset (one entry per ancestor)."""
@@ -253,7 +290,10 @@ class Dataset:
     def _partition(self, i: int) -> Table:
         cached = self._cache[i]
         if cached is None:
-            cached = self._thunks[i]()
+            if self._runtime is None:
+                cached = self._thunks[i]()
+            else:
+                cached = self._runtime.run_task(self._op, i, self._thunks[i])
             self._cache[i] = cached
         return cached
 

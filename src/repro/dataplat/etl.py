@@ -7,6 +7,13 @@ source, validate and coerce them against a target schema, apply row
 transformations, and load the result into the catalog — with per-job counters
 for rows read / rejected / loaded, which the tests use to verify veracity
 accounting.
+
+Rejected records are not just counted: they land in a **quarantine
+(dead-letter) table** ``<target>__quarantine`` alongside the reject reason,
+so a broken vendor adapter can be diagnosed from the warehouse itself.
+Flaky sources are handled by :func:`run_pipeline`, which re-runs a job's
+extract on :class:`~repro.errors.TransientError` under a
+:class:`~repro.dataplat.resilience.RetryPolicy`.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ETLError
 from .catalog import Catalog
+from .resilience import RetryPolicy, SimClock
 from .schema import ColumnType, Schema
 from .table import Table
 
@@ -25,6 +33,12 @@ Record = Mapping[str, object]
 #: Optional row-level transformation; return None to drop the record.
 TransformFn = Callable[[dict], dict | None]
 
+#: Schema of every quarantine (dead-letter) table.
+QUARANTINE_SCHEMA = Schema.of(reason="string", record="string")
+
+#: Suffix appended to a job's target to name its dead-letter table.
+QUARANTINE_SUFFIX = "__quarantine"
+
 
 @dataclass
 class ETLStats:
@@ -33,6 +47,11 @@ class ETLStats:
     rows_read: int = 0
     rows_rejected: int = 0
     rows_loaded: int = 0
+    #: Rows written to the dead-letter table (== rows_rejected when
+    #: quarantining is on, 0 when off).
+    rows_quarantined: int = 0
+    #: Extract attempts consumed (> 1 means the source was flaky).
+    extract_attempts: int = 1
     reject_reasons: dict[str, int] = field(default_factory=dict)
 
     def reject(self, reason: str) -> None:
@@ -70,25 +89,54 @@ class ETLJob:
         catalog: Catalog,
         database: str = "default",
         partition: str | None = None,
+        max_reject_fraction: float | None = None,
+        quarantine: bool = True,
     ) -> ETLStats:
-        """Execute the job; returns the run's counters."""
+        """Execute the job; returns the run's counters.
+
+        The reject-rate gate (``max_reject_fraction``) is checked *before*
+        anything is saved: a failed job raises :class:`ETLError` without
+        registering a mostly-empty target table.  Its rejects still land in
+        the quarantine table for diagnosis.
+        """
         stats = ETLStats()
         columns: dict[str, list] = {name: [] for name in self._schema.names}
+        quarantined: list[tuple[str, str]] = []
+
+        def reject(reason: str, row: Mapping) -> None:
+            stats.reject(reason)
+            if quarantine:
+                quarantined.append((reason, repr(dict(row))))
+
         for record in records:
             stats.rows_read += 1
             row = dict(record)
             if self._transform is not None:
                 transformed = self._transform(row)
                 if transformed is None:
-                    stats.reject("transform_dropped")
+                    reject("transform_dropped", row)
                     continue
                 row = transformed
-            coerced = self._coerce(row, stats)
-            if coerced is None:
+            reason = self._coerce(row, columns)
+            if reason is not None:
+                reject(reason, row)
                 continue
-            for name in self._schema.names:
-                columns[name].append(coerced[name])
             stats.rows_loaded += 1
+
+        failed = (
+            max_reject_fraction is not None
+            and stats.rows_read > 0
+            and stats.rows_rejected / stats.rows_read > max_reject_fraction
+        )
+        if quarantine and quarantined:
+            self._save_quarantine(quarantined, catalog, database, partition)
+            stats.rows_quarantined = len(quarantined)
+        if failed:
+            raise ETLError(
+                f"job {self._target!r} rejected "
+                f"{stats.rows_rejected / stats.rows_read:.0%} of rows "
+                f"(> {max_reject_fraction:.0%}): {stats.reject_reasons}"
+            )
         table = Table(
             self._schema,
             {
@@ -99,19 +147,47 @@ class ETLJob:
         catalog.save(table, self._target, database=database, partition=partition)
         return stats
 
-    def _coerce(self, row: dict, stats: ETLStats) -> dict | None:
+    def _coerce(self, row: dict, columns: dict[str, list]) -> str | None:
+        """Coerce ``row`` into ``columns``; returns a reject reason or None.
+
+        Nothing is appended unless the whole row coerces, so a mid-row
+        failure cannot leave ragged columns behind.
+        """
         out: dict = {}
         for col in self._schema:
             if col.name not in row:
-                stats.reject(f"missing:{col.name}")
-                return None
+                return f"missing:{col.name}"
             value = row[col.name]
             try:
                 out[col.name] = _coerce_value(value, col.ctype)
             except (TypeError, ValueError):
-                stats.reject(f"badtype:{col.name}")
-                return None
-        return out
+                return f"badtype:{col.name}"
+        for name in self._schema.names:
+            columns[name].append(out[name])
+        return None
+
+    def _save_quarantine(
+        self,
+        quarantined: list[tuple[str, str]],
+        catalog: Catalog,
+        database: str,
+        partition: str | None,
+    ) -> None:
+        import numpy as np
+
+        table = Table(
+            QUARANTINE_SCHEMA,
+            {
+                "reason": np.asarray([q[0] for q in quarantined]),
+                "record": np.asarray([q[1] for q in quarantined]),
+            },
+        )
+        catalog.save(
+            table,
+            f"{self._target}{QUARANTINE_SUFFIX}",
+            database=database,
+            partition=partition,
+        )
 
 
 def _coerce_value(value: object, ctype: ColumnType):
@@ -140,28 +216,51 @@ def _column_array(values: list, ctype: ColumnType):
     return np.asarray(values, dtype=ctype.dtype)
 
 
+#: A record source: a plain iterable, or a zero-argument factory returning a
+#: fresh iterable (required for the extract to be retryable).
+RecordSource = Iterable[Record] | Callable[[], Iterable[Record]]
+
+
 def run_pipeline(
-    jobs: Iterable[tuple[ETLJob, Iterable[Record]]],
+    jobs: Iterable[tuple[ETLJob, RecordSource]],
     catalog: Catalog,
     database: str = "default",
     partition: str | None = None,
     max_reject_fraction: float = 0.5,
+    retry_policy: RetryPolicy | None = None,
+    clock: SimClock | None = None,
 ) -> dict[str, ETLStats]:
     """Run several jobs; fail loudly if any job rejects too many rows.
 
     Telco data is high-veracity ("very low inconsistencies"); a high reject
-    rate signals a broken adapter, so the pipeline raises instead of loading
-    a mostly-empty table.
+    rate signals a broken adapter, so the pipeline raises *before* loading
+    a mostly-empty table (the target is never registered on failure).
+
+    A source may be a zero-argument callable returning a fresh record
+    iterable; combined with ``retry_policy``, an extract that dies with a
+    :class:`~repro.errors.TransientError` (flaky vendor feed) is re-run
+    from the start with capped exponential backoff.
     """
     all_stats: dict[str, ETLStats] = {}
-    for job, records in jobs:
-        stats = job.run(records, catalog, database=database, partition=partition)
+    for job, source in jobs:
+        attempts = 0
+
+        def run_once(job=job, source=source) -> ETLStats:
+            nonlocal attempts
+            attempts += 1
+            records = source() if callable(source) else source
+            return job.run(
+                records,
+                catalog,
+                database=database,
+                partition=partition,
+                max_reject_fraction=max_reject_fraction,
+            )
+
+        if retry_policy is not None and callable(source):
+            stats = retry_policy.call(run_once, clock=clock)
+        else:
+            stats = run_once()
+        stats.extract_attempts = attempts
         all_stats[job._target] = stats
-        if stats.rows_read > 0:
-            reject_fraction = stats.rows_rejected / stats.rows_read
-            if reject_fraction > max_reject_fraction:
-                raise ETLError(
-                    f"job {job._target!r} rejected "
-                    f"{reject_fraction:.0%} of rows: {stats.reject_reasons}"
-                )
     return all_stats

@@ -24,6 +24,15 @@ class StorageError(DataPlatformError):
     """A block-store operation failed (missing block, bad replica, ...)."""
 
 
+class TransientError(DataPlatformError):
+    """A retryable failure (flaky read, dead worker, feed hiccup).
+
+    Raised by fault injection and by the platform's own transient paths;
+    :class:`~repro.dataplat.resilience.RetryPolicy` treats it as retryable
+    where other :class:`DataPlatformError` subclasses are terminal.
+    """
+
+
 class SchemaError(DataPlatformError):
     """A table schema was violated or two schemas are incompatible."""
 

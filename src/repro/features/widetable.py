@@ -14,11 +14,14 @@ window.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
+
 import numpy as np
 
 from ..datagen.simulator import TelcoWorld
+from ..dataplat.resilience import PipelineHealthReport
 from ..dataplat.sql import SQLEngine
-from ..errors import FeatureError
+from ..errors import DataPlatformError, FeatureError
 from .bss_features import build_f1
 from .cs_features import build_f2
 from .graph_features import GraphFeatureBuilder
@@ -29,11 +32,33 @@ from .topic_features import TopicFeatureExtractor
 
 
 class WideTableBuilder:
-    """Feature engineering facade over one :class:`TelcoWorld`."""
+    """Feature engineering facade over one :class:`TelcoWorld`.
 
-    def __init__(self, world: TelcoWorld, seed: int = 0) -> None:
+    Parameters
+    ----------
+    world:
+        The simulated history.
+    seed:
+        Seed for the fitted extractors.
+    table_source:
+        Optional override for where a month's raw tables come from — a
+        callable ``month -> {name: Table}``.  The default reads the world's
+        in-memory tables; a catalog-backed source (see
+        :class:`~repro.dataplat.resilience.CatalogTableSource`) routes the
+        reads through the block store instead, so storage faults and down
+        feeds reach the feature layer, where :meth:`surviving_categories`
+        degrades around them.
+    """
+
+    def __init__(
+        self,
+        world: TelcoWorld,
+        seed: int = 0,
+        table_source: Callable[[int], dict] | None = None,
+    ) -> None:
         self._world = world
         self._seed = seed
+        self._table_source = table_source
         self._engine = SQLEngine()
         self._registered: set[int] = set()
         self._cache: dict[tuple[str, int], FeatureMatrix] = {}
@@ -151,13 +176,60 @@ class WideTableBuilder:
         return FeatureMatrix.concat(blocks)
 
     # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+
+    def surviving_categories(
+        self,
+        months: Sequence[int],
+        categories: Sequence[str],
+        health: PipelineHealthReport | None = None,
+    ) -> tuple[str, ...]:
+        """The subset of ``categories`` buildable for *every* given month.
+
+        A family whose block cannot be built for any month in the window
+        (source table missing, feed down, storage failure) is dropped and
+        recorded on ``health``, so train and test keep identical feature
+        columns.  F1 — the BSS baseline the paper's system always has — is
+        not droppable: its failure propagates, because a churn list without
+        any features is not a degraded output, it is no output.
+
+        Probed blocks land in the regular cache, so a follow-up
+        :meth:`features` call does no extra work.
+        """
+        survivors: list[str] = []
+        for category in categories:
+            reason = None
+            for month in months:
+                try:
+                    self.category(category, month)
+                except (FeatureError, DataPlatformError) as exc:
+                    reason = f"month {month}: {exc}"
+                    break
+            if reason is None:
+                survivors.append(category)
+            elif category == "F1":
+                raise FeatureError(
+                    f"baseline family F1 unavailable ({reason}); "
+                    f"cannot degrade below the BSS baseline"
+                )
+            elif health is not None:
+                health.drop_family(category, reason)
+        if health is not None:
+            health.families_used = list(survivors)
+        return tuple(survivors)
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
     def _register_month(self, month: int) -> None:
         if month in self._registered:
             return
-        data = self._world.month(month)
-        for name, table in data.tables.items():
+        if self._table_source is not None:
+            tables = self._table_source(month)
+        else:
+            tables = self._world.month(month).tables
+        for name, table in tables.items():
             self._engine.register(table, f"{name}_m{month}")
         self._registered.add(month)

@@ -152,3 +152,31 @@ class TestFaultInjection:
         store.write("/f", b"x")
         with pytest.raises(StorageError):
             store.corrupt_block("/f", 5, 0)
+
+    def test_corrupt_replicas_are_counted(self, store):
+        payload = b"checksummed" * 4
+        store.write("/f", payload)
+        assert store.corrupt_replicas_detected == 0
+        status = store.status("/f")
+        store.corrupt_block("/f", 0, status.blocks[0].replicas[0])
+        assert store.read("/f") == payload
+        # The bad copy was detected (and counted), not silently skipped.
+        assert store.corrupt_replicas_detected == 1
+        assert store.health.corrupt_replicas_detected == 1
+
+    def test_re_replicate_reports_every_lost_block(self):
+        store = BlockStore(num_nodes=3, replication=1, block_size=4)
+        store.write("/a", b"aaaabbbb")  # two blocks, spread over two nodes
+        store.write("/b", b"cccc")
+        victims = {
+            node for p in ("/a", "/b") for b in store.status(p).blocks
+            for node in b.replicas
+        }
+        for node_id in victims:
+            store.kill_node(node_id)
+        with pytest.raises(StorageError) as err:
+            store.re_replicate()
+        # One exception naming all three lost blocks, not just the first.
+        message = str(err.value)
+        assert "3 block(s) lost all replicas" in message
+        assert "/a" in message and "/b" in message

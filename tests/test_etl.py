@@ -3,7 +3,7 @@
 import pytest
 
 from repro.dataplat.catalog import Catalog
-from repro.dataplat.etl import ETLJob, run_pipeline
+from repro.dataplat.etl import ETLJob, QUARANTINE_SUFFIX, run_pipeline
 from repro.dataplat.schema import Schema
 from repro.errors import ETLError
 
@@ -111,3 +111,34 @@ class TestPipeline:
         records.append({"imsi": 99})  # one reject out of ten
         stats = run_pipeline([(ETLJob(schema, "a"), records)], catalog)
         assert stats["a"].rows_loaded == 9
+
+    def test_failed_pipeline_never_registers_target(self, catalog, schema):
+        # Regression: the reject gate used to fire only after catalog.save,
+        # leaving a mostly-empty table registered behind the ETLError.
+        bad = [{"imsi": 1}, {"imsi": 2}, {"imsi": 3, "dur": 1.0, "kind": "x"}]
+        with pytest.raises(ETLError):
+            run_pipeline([(ETLJob(schema, "a"), bad)], catalog)
+        assert not catalog.exists("a")
+        # The rejects were still quarantined for diagnosis.
+        assert catalog.exists(f"a{QUARANTINE_SUFFIX}")
+        assert catalog.load(f"a{QUARANTINE_SUFFIX}").num_rows == 2
+
+
+class TestQuarantine:
+    def test_rejects_land_in_dead_letter_table(self, catalog, schema):
+        records = [
+            {"imsi": 1, "dur": 1.0, "kind": "x"},
+            {"imsi": "oops", "dur": 1.0, "kind": "x"},
+            {"dur": 2.0, "kind": "y"},
+        ]
+        stats = ETLJob(schema, "cdr").run(records, catalog)
+        assert stats.rows_quarantined == 2
+        dead = catalog.load(f"cdr{QUARANTINE_SUFFIX}")
+        assert sorted(dead["reason"].tolist()) == ["badtype:imsi", "missing:imsi"]
+
+    def test_quarantine_disabled_only_counts(self, catalog, schema):
+        records = [{"imsi": 1, "dur": 1.0, "kind": "x"}, {"imsi": "oops"}]
+        stats = ETLJob(schema, "cdr").run(records, catalog, quarantine=False)
+        assert stats.rows_rejected == 1
+        assert stats.rows_quarantined == 0
+        assert not catalog.exists(f"cdr{QUARANTINE_SUFFIX}")

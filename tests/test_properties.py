@@ -5,6 +5,18 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.dataplat.catalog import Catalog
+from repro.dataplat.dataset import Dataset
+from repro.dataplat.etl import ETLJob, QUARANTINE_SUFFIX
+from repro.dataplat.resilience import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPolicy,
+    RetryPolicy,
+    SimClock,
+    TaskRuntime,
+)
+from repro.dataplat.schema import Schema
 from repro.dataplat.sql import SQLEngine
 from repro.dataplat.table import Table
 from repro.ml.graphalgo import label_propagation, pagerank
@@ -240,6 +252,146 @@ class TestPreprocessProperties:
         binner = QuantileBinner(n_bins=4).fit(x)
         onehot = one_hot(binner.transform(x), binner.bin_counts())
         assert np.all(onehot.sum(axis=1) == x.shape[1])
+
+
+class TestRetryProperties:
+    @given(
+        st.integers(0, 10_000),
+        st.integers(2, 8),
+        st.floats(0.01, 2.0, allow_nan=False),
+        st.floats(1.1, 4.0, allow_nan=False),
+        st.floats(0.0, 0.99, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_deterministic_for_seed(
+        self, seed, attempts, base, multiplier, jitter
+    ):
+        make = lambda: RetryPolicy(  # noqa: E731
+            max_attempts=attempts,
+            base_delay=base,
+            multiplier=multiplier,
+            jitter=jitter,
+            seed=seed,
+        )
+        first, second = make().schedule(), make().schedule()
+        assert first == second
+        assert len(first) == attempts - 1
+        for k, pause in enumerate(first):
+            assert 0.0 < pause <= make().max_delay
+            # Jitter only ever shortens the pause below the exponential cap.
+            assert pause <= min(make().max_delay, base * multiplier**k)
+
+    @given(st.integers(0, 10_000), st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_zero_jitter_schedule_is_pure_exponential(self, seed, attempts):
+        policy = RetryPolicy(
+            max_attempts=attempts,
+            base_delay=1.0,
+            multiplier=2.0,
+            jitter=0.0,
+            max_delay=1e9,
+            seed=seed,
+        )
+        assert policy.schedule() == [2.0**k for k in range(attempts - 1)]
+
+    @given(
+        st.integers(0, 10_000),
+        st.floats(0.0, 0.9, allow_nan=False),
+        st.integers(1, 80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_injector_decisions_replay_exactly(self, seed, rate, n_draws):
+        policy = FaultPolicy(read_failure_rate=rate, task_failure_rate=rate)
+        a = FaultInjector(policy, seed=seed)
+        b = FaultInjector(policy, seed=seed)
+        # Interleave a second kind into one injector only: per-kind streams
+        # are independent, so the read_failure decisions must still match.
+        decisions_a, decisions_b = [], []
+        for i in range(n_draws):
+            decisions_a.append(a.should("read_failure"))
+            if i % 3 == 0:
+                a.should("task_failure")
+            decisions_b.append(b.should("read_failure"))
+        assert decisions_a == decisions_b
+        assert a.injected["read_failure"] == sum(decisions_a)
+
+
+class TestQuarantineProperties:
+    schema = Schema.of(k="int", v="float")
+
+    @st.composite
+    @staticmethod
+    def raw_records(draw, max_records=30):
+        n = draw(st.integers(0, max_records))
+        records = []
+        for _ in range(n):
+            record = {}
+            if draw(st.booleans()):
+                record["k"] = draw(st.one_of(st.integers(0, 9), st.just("bad")))
+            record["v"] = draw(st.one_of(floats, st.just("oops")))
+            records.append(record)
+        return records
+
+    @given(raw_records())
+    @settings(max_examples=40, deadline=None)
+    def test_every_row_is_loaded_or_quarantined(self, records):
+        catalog = Catalog()
+        job = ETLJob(self.schema, target="feed")
+        stats = job.run(records, catalog)
+        assert stats.rows_read == len(records)
+        assert stats.rows_loaded + stats.rows_rejected == stats.rows_read
+        assert stats.rows_quarantined == stats.rows_rejected
+        assert catalog.load("feed").num_rows == stats.rows_loaded
+        if stats.rows_rejected:
+            dead = catalog.load(f"feed{QUARANTINE_SUFFIX}")
+            assert dead.num_rows == stats.rows_rejected
+        else:
+            assert not catalog.exists(f"feed{QUARANTINE_SUFFIX}")
+
+    @given(raw_records())
+    @settings(max_examples=40, deadline=None)
+    def test_quarantine_off_only_counts(self, records):
+        catalog = Catalog()
+        job = ETLJob(self.schema, target="feed")
+        stats = job.run(records, catalog, quarantine=False)
+        assert stats.rows_quarantined == 0
+        assert not catalog.exists(f"feed{QUARANTINE_SUFFIX}")
+        assert stats.rows_loaded + stats.rows_rejected == stats.rows_read
+
+
+class TestZeroFaultIdentity:
+    @given(tables(min_rows=1), st.integers(0, 10_000), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_dataset_identical_with_and_without_runtime(
+        self, table, seed, num_partitions
+    ):
+        def transform(ds):
+            doubled = ds.map_partitions(
+                lambda t: Table.from_arrays(k=t["k"], v=t["v"] * 2.0),
+                ds.schema,
+            )
+            return doubled.filter(lambda t: t["k"] % 2 == 0).collect()
+
+        plain = transform(Dataset.from_table(table, num_partitions))
+        runtime = TaskRuntime(
+            retry_policy=RetryPolicy(seed=seed),
+            injector=FaultInjector.disabled(),
+            clock=SimClock(),
+        )
+        resilient = transform(
+            Dataset.from_table(table, num_partitions, runtime=runtime)
+        )
+        assert resilient == plain
+        assert runtime.task_retries == 0
+        assert all(n == 1 for n in runtime.task_attempts.values())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_disabled_injector_never_fires(self, seed):
+        injector = FaultInjector(FaultPolicy(), seed=seed)
+        for kind in FAULT_KINDS:
+            assert not any(injector.should(kind) for _ in range(50))
+        assert injector.total_injected == 0
 
 
 class TestLabelingProperties:
