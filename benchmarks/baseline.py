@@ -1,0 +1,220 @@
+"""Machine-readable micro-benchmarks: serial vs parallel backend.
+
+Times the compute hot paths the executor backend parallelizes — RF fit,
+RF predict, dataset materialization, wide-table month builds — once on
+:class:`SerialBackend` and once on :class:`ProcessPoolBackend`, plus the
+catalog's repeated month-window scan to measure the table-cache hit rate.
+Writes ``benchmarks/output/BENCH_micro.json``::
+
+    {"meta": {...},
+     "ops": {"rf_fit": {"serial_s": ..., "parallel_s": ..., "speedup": ...},
+             ...},
+     "cache": {"cold_s": ..., "warm_s": ..., "hit_rate": ...}}
+
+Usage::
+
+    python benchmarks/baseline.py [--quick] [--workers N] [--out PATH]
+
+``--quick`` shrinks problem sizes for CI smoke runs; numbers are then
+dominated by process-pool overhead and NOT representative of speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import ScaleConfig
+from repro.datagen import TelcoSimulator
+from repro.dataplat.catalog import Catalog
+from repro.dataplat.dataset import Dataset
+from repro.dataplat.executor import ProcessPoolBackend, SerialBackend
+from repro.dataplat.table import Table
+from repro.features import WideTableBuilder
+from repro.ml.forest import RandomForestClassifier
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_micro.json"
+
+
+def _median_time(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _partition_work(table: Table) -> Table:
+    """CPU-heavy per-partition map (top-level so process backends pickle it)."""
+    values = np.asarray(table["v"], dtype=np.float64)
+    acc = values.copy()
+    for _ in range(200):
+        acc = np.sqrt(acc * acc + 1.0)
+    return table.with_column("v", acc)
+
+
+def bench_forest(backends, quick: bool, repeats: int):
+    rng = np.random.default_rng(0)
+    n, d = (800, 20) if quick else (4000, 60)
+    x = rng.normal(size=(n, d))
+    y = (rng.random(n) < 1 / (1 + np.exp(-1.5 * x[:, 0]))).astype(int)
+    n_trees = 8 if quick else 32
+    out = {}
+    models = {}
+    for label, backend in backends.items():
+        out.setdefault("rf_fit", {})[label] = _median_time(
+            lambda b=backend: models.__setitem__(
+                label,
+                RandomForestClassifier(
+                    n_trees=n_trees, min_samples_leaf=20, max_depth=10, seed=1
+                ).fit(x, y, backend=b),
+            ),
+            repeats,
+        )
+    for label, backend in backends.items():
+        model = models[label]
+        out.setdefault("rf_predict", {})[label] = _median_time(
+            lambda b=backend, m=model: m.predict_proba(x, backend=b), repeats
+        )
+    probas = {k: m.predict_proba(x) for k, m in models.items()}
+    first = next(iter(probas.values()))
+    assert all(np.array_equal(first, p) for p in probas.values()), (
+        "backend parity violated in benchmark"
+    )
+    return out
+
+
+def bench_dataset(backends, quick: bool, repeats: int):
+    rng = np.random.default_rng(1)
+    n = 20_000 if quick else 200_000
+    table = Table.from_arrays(
+        k=rng.integers(0, 50, size=n), v=rng.normal(size=n)
+    )
+    def collect(backend):
+        # Fresh lineage per run: materialized partitions are cached on the
+        # dataset, so reusing one would time the cache, not the compute.
+        ds = Dataset.from_table(table, num_partitions=8).map_partitions(
+            _partition_work, table.schema, op="bench_map"
+        )
+        ds.collect(backend=backend)
+
+    out = {}
+    for label, backend in backends.items():
+        out[label] = _median_time(lambda b=backend: collect(b), repeats)
+    return {"dataset_collect": out}
+
+
+def bench_widetable(world, backends, repeats: int):
+    months = [2, 3]
+    categories = ("F1", "F2", "F3")
+    out = {}
+    for label, backend in backends.items():
+
+        def build(b=backend):
+            builder = WideTableBuilder(world, seed=0)
+            builder.prefetch(months, categories, b)
+
+        out[label] = _median_time(build, repeats)
+    return {"widetable_build": out}
+
+
+def bench_catalog_scan(world, repeats: int):
+    """Repeated month-window scan: cold decode vs warm cache hits."""
+    catalog = Catalog()
+    catalog.create_database("telco")
+    world.load_catalog(catalog, database="telco")
+    tables = catalog.tables("telco")
+
+    def scan():
+        for name in tables:
+            catalog.load(name, database="telco")
+
+    # Drop the entries populated by load_catalog's saves so the cold scan
+    # actually decodes npz blocks; warm repeats then hit the LRU.
+    catalog.clear_cache()
+    start = time.perf_counter()
+    scan()
+    cold = time.perf_counter() - start
+    warm = _median_time(scan, repeats)
+    health = catalog.store.health
+    return {
+        "cold_s": cold,
+        "warm_s": warm,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+        "cache_hits": health.cache_hits,
+        "cache_misses": health.cache_misses,
+        "hit_rate": health.cache_hit_rate,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--workers", type=int, default=0, help="pool size (0 = per CPU)"
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--repeats", type=int, default=0, help="0 = auto")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats or (3 if args.quick else 5)
+    pool = ProcessPoolBackend(max_workers=args.workers)
+    backends = {"serial": SerialBackend(), "parallel": pool}
+
+    scale = (
+        ScaleConfig(population=400, months=4, seed=5)
+        if args.quick
+        else ScaleConfig(population=1500, months=4, seed=5)
+    )
+    world = TelcoSimulator(scale).run()
+
+    ops = {}
+    ops.update(bench_forest(backends, args.quick, repeats))
+    ops.update(bench_dataset(backends, args.quick, repeats))
+    ops.update(bench_widetable(world, backends, repeats))
+    for name, times in ops.items():
+        times["speedup"] = (
+            times["serial"] / times["parallel"]
+            if times["parallel"] > 0
+            else float("inf")
+        )
+
+    cache = bench_catalog_scan(world, repeats)
+    pool.close()
+
+    result = {
+        "meta": {
+            "quick": args.quick,
+            "workers": pool.parallelism,
+            "cpu_count": os.cpu_count(),
+            "repeats": repeats,
+            "pool_fallbacks": pool.fallbacks,
+        },
+        "ops": {
+            name: {
+                "serial_s": times["serial"],
+                "parallel_s": times["parallel"],
+                "speedup": times["speedup"],
+            }
+            for name, times in ops.items()
+        },
+        "cache": cache,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from ..config import ModelConfig, ScaleConfig
 from ..datagen.bss import DAYS_PER_MONTH
 from ..datagen.simulator import TelcoWorld
 from ..dataplat.blockstore import BlockStore
+from ..dataplat.executor import ExecutorBackend
 from ..dataplat.resilience import PipelineHealthReport
 from ..errors import DataPlatformError, ExperimentError, FeatureError
 from ..features import ALL_CATEGORIES, WideTableBuilder
@@ -87,6 +88,7 @@ class ChurnPipeline:
         table_source: Callable[[int], dict] | None = None,
         store: BlockStore | None = None,
         allow_degraded: bool = False,
+        backend: "ExecutorBackend | str | None" = None,
     ) -> None:
         unknown = set(categories) - set(ALL_CATEGORIES)
         if unknown:
@@ -105,9 +107,12 @@ class ChurnPipeline:
         #: ``allow_degraded`` turns on graceful degradation — windows drop
         #: unbuildable F2..F9 families instead of failing, and each
         #: :class:`WindowResult` carries a :class:`PipelineHealthReport`.
+        #: ``backend`` fans out per-month feature builds and per-tree RF
+        #: work; results are bit-identical to serial runs.
         self.allow_degraded = allow_degraded
         self._table_source = table_source
         self._store = store
+        self._backend = backend
         self.builder = WideTableBuilder(world, seed=seed, table_source=table_source)
         self.windows = SlidingWindow(world)
         self._label_cache: dict[int, np.ndarray] = {}
@@ -170,6 +175,13 @@ class ChurnPipeline:
             categories = self.builder.surviving_categories(
                 months, categories, health
             )
+        # Warm every month's blocks through the backend before the serial
+        # assembly below; a no-op after degraded-mode probing (all cached).
+        self.builder.prefetch(
+            list(spec.train_months) + [spec.test_month],
+            categories,
+            self._backend,
+        )
         x_parts, y_parts = [], []
         feature_names: list[str] = []
         for month in spec.train_months:
@@ -319,7 +331,10 @@ class ChurnPipeline:
         rng = np.random.default_rng(self.seed)
         x_bal, y_bal, weights = rebalance(x, y, self.imbalance, rng)
         predictor = ChurnPredictor(
-            classifier=self.classifier, config=self.model, seed=self.seed
+            classifier=self.classifier,
+            config=self.model,
+            seed=self.seed,
+            backend=self._backend,
         )
         return predictor.fit(x_bal, y_bal, sample_weight=weights)
 
@@ -370,6 +385,9 @@ def _storage_delta(before, after):
         ),
         read_retries=after.read_retries - before.read_retries,
         files_healed=after.files_healed - before.files_healed,
+        cache_hits=after.cache_hits - before.cache_hits,
+        cache_misses=after.cache_misses - before.cache_misses,
+        cache_evictions=after.cache_evictions - before.cache_evictions,
     )
 
 

@@ -11,6 +11,8 @@ coverage.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..errors import StorageError, TransientError
@@ -19,6 +21,9 @@ from .resilience import FaultInjector, RetryPolicy, SimClock
 #: Default block size.  Real HDFS uses 128 MB; our synthetic tables are small
 #: so a smaller default keeps multiple blocks per file in play.
 DEFAULT_BLOCK_SIZE = 1 << 20
+
+#: Default decoded-bytes budget of the catalog's table cache (256 MB).
+DEFAULT_TABLE_CACHE_BYTES = 256 << 20
 
 
 @dataclass(frozen=True)
@@ -32,7 +37,7 @@ class BlockInfo:
 
 @dataclass
 class StorageHealth:
-    """Counters for the store's self-healing read path."""
+    """Counters for the store's self-healing read path and table cache."""
 
     corrupt_replicas_detected: int = 0
     replicas_repaired: int = 0
@@ -40,6 +45,96 @@ class StorageHealth:
     transient_read_failures: int = 0
     read_retries: int = 0
     files_healed: int = 0
+    #: Decoded-table cache traffic (maintained by the owning catalog).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of table reads served without re-decoding npz blocks."""
+        reads = self.cache_hits + self.cache_misses
+        return self.cache_hits / reads if reads else 0.0
+
+
+class TableCache:
+    """LRU cache of decoded tables, bounded by decoded bytes.
+
+    The paper re-reads intermediate feature tables "many times"; decoding
+    the same npz blocks on every month-window scan dominated repeated
+    reads.  This cache keeps the *decoded* tables, evicting least-recently
+    used entries once the decoded-bytes budget is exceeded.  Hit/miss/
+    eviction traffic is recorded on a :class:`StorageHealth` so monitoring
+    sees cache effectiveness next to the repair counters.
+
+    An entry larger than the whole budget is never admitted (it would just
+    evict everything for a single-use tenancy).
+    """
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_TABLE_CACHE_BYTES,
+        health: StorageHealth | None = None,
+    ) -> None:
+        if max_bytes < 0:
+            raise StorageError(f"max_bytes must be >= 0, got {max_bytes}")
+        self._max_bytes = max_bytes
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        self._bytes = 0
+        self.health = health if health is not None else StorageHealth()
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str):
+        """The cached value, or ``None``; counts a hit or miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.health.cache_misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.health.cache_hits += 1
+        return entry[0]
+
+    def peek(self, key: str):
+        """The cached value without touching LRU order or counters."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry[0]
+
+    def put(self, key: str, value: object, nbytes: int) -> None:
+        """Insert/replace an entry and evict LRU entries over budget."""
+        if key in self._entries:
+            self._bytes -= self._entries.pop(key)[1]
+        if nbytes > self._max_bytes:
+            # Too big to ever cache; make sure no stale copy survives.
+            return
+        self._entries[key] = (value, nbytes)
+        self._bytes += nbytes
+        while self._bytes > self._max_bytes and self._entries:
+            _, (_, evicted) = self._entries.popitem(last=False)
+            self._bytes -= evicted
+            self.health.cache_evictions += 1
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry (no-op if absent)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry[1]
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
 
 
 @dataclass(frozen=True)
@@ -122,6 +217,17 @@ class BlockStore:
         self._clock = clock if clock is not None else SimClock()
         self._auto_repair = auto_repair
         self.health = StorageHealth()
+        self._invalidation_listeners: list[Callable[[str], None]] = []
+
+    def add_invalidation_listener(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired with a path whenever its bytes may
+        have changed (write, delete, repair, deliberate corruption) — the
+        catalog uses this to evict stale decoded tables."""
+        self._invalidation_listeners.append(listener)
+
+    def _notify_invalidation(self, path: str) -> None:
+        for listener in self._invalidation_listeners:
+            listener(path)
 
     @property
     def corrupt_replicas_detected(self) -> int:
@@ -151,6 +257,7 @@ class BlockStore:
             blocks=tuple(blocks),
         )
         self._files[path] = status
+        self._notify_invalidation(path)
         return status
 
     def read(self, path: str) -> bytes:
@@ -210,6 +317,7 @@ class BlockStore:
             for node_id in block.replicas:
                 self._nodes[node_id].blocks.pop(block.block_id, None)
         del self._files[path]
+        self._notify_invalidation(path)
 
     def list_files(self, prefix: str = "/") -> list[str]:
         """All file paths under ``prefix``, sorted."""
@@ -303,6 +411,8 @@ class BlockStore:
             replication=status.replication,
             blocks=tuple(new_blocks),
         )
+        if created or lost:
+            self._notify_invalidation(path)
         return created, lost
 
     def _heal_file(self, path: str) -> int:
@@ -391,6 +501,8 @@ class BlockStore:
         if payload:
             payload[0] ^= 0xFF
         node.blocks[block.block_id] = bytes(payload)
+        # A cached decoded copy would mask the corruption from read paths.
+        self._notify_invalidation(path)
 
 
 def _digest(chunk: bytes) -> str:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import CatalogError
-from .blockstore import BlockStore
+from .blockstore import DEFAULT_TABLE_CACHE_BYTES, BlockStore, TableCache
 from .schema import Schema
 from .table import Table
 
@@ -38,21 +38,40 @@ class Catalog:
     ----------
     store:
         Backing :class:`BlockStore`; a private one is created if omitted.
+    cache_bytes:
+        Decoded-bytes budget of the LRU table cache.  Repeated month-window
+        scans hit this cache instead of re-decoding npz blocks; hit/miss/
+        eviction counters land on the store's :class:`StorageHealth`.  The
+        cache is invalidated whenever the store reports a path's bytes may
+        have changed (write, delete, repair, injected corruption).
     """
 
     #: Partition value used for unpartitioned tables.
     DEFAULT_PARTITION = "__all__"
 
-    def __init__(self, store: BlockStore | None = None) -> None:
+    def __init__(
+        self,
+        store: BlockStore | None = None,
+        cache_bytes: int = DEFAULT_TABLE_CACHE_BYTES,
+    ) -> None:
         self._store = store if store is not None else BlockStore()
         self._tables: dict[tuple[str, str], dict[str, str]] = {}
         self._schemas: dict[tuple[str, str], Schema] = {}
-        self._cache: dict[str, Table] = {}
+        self._cache = TableCache(cache_bytes, health=self._store.health)
+        #: Temp views live outside the LRU: they have no backing file, so
+        #: eviction would lose them rather than cost a re-read.
+        self._temp: dict[str, Table] = {}
         self._databases: set[str] = {"default"}
+        self._store.add_invalidation_listener(self._cache.invalidate)
 
     @property
     def store(self) -> BlockStore:
         return self._store
+
+    @property
+    def table_cache(self) -> TableCache:
+        """The decoded-table LRU (for monitoring and tests)."""
+        return self._cache
 
     # ------------------------------------------------------------------
     # Databases
@@ -98,7 +117,8 @@ class Catalog:
         self._store.write(path, table.to_bytes())
         self._tables.setdefault(key, {})[partition] = path
         self._schemas[key] = table.schema
-        self._cache[path] = table
+        # The write invalidated any stale entry; cache the fresh table.
+        self._cache.put(path, table, table.nbytes)
 
     def register_temp(
         self,
@@ -126,7 +146,7 @@ class Catalog:
         path = f"/tmpview/{database}/{name}"
         self._tables[key] = {self.DEFAULT_PARTITION: path}
         self._schemas[key] = table.schema
-        self._cache[path] = table
+        self._temp[path] = table
 
     def load(
         self,
@@ -160,11 +180,7 @@ class Catalog:
         tests exercise; ``save`` and ``load`` both repopulate the cache, so
         this only costs one deserialization per table.
         """
-        self._cache = {
-            path: table
-            for path, table in self._cache.items()
-            if path.startswith("/tmpview/")
-        }
+        self._cache.clear()
 
     def drop(self, name: str, database: str = "default") -> None:
         """Drop a table and delete its files."""
@@ -172,7 +188,8 @@ class Catalog:
         for path in self._tables[key].values():
             if self._store.exists(path):
                 self._store.delete(path)
-            self._cache.pop(path, None)
+            self._cache.invalidate(path)
+            self._temp.pop(path, None)
         del self._tables[key]
         del self._schemas[key]
 
@@ -208,11 +225,14 @@ class Catalog:
         return key
 
     def _read(self, path: str) -> Table:
+        temp = self._temp.get(path)
+        if temp is not None:
+            return temp
         cached = self._cache.get(path)
         if cached is not None:
             return cached
         table = Table.from_bytes(self._store.read(path))
-        self._cache[path] = table
+        self._cache.put(path, table, table.nbytes)
         return table
 
     @staticmethod

@@ -7,6 +7,18 @@ a :class:`~.table.Table`), transformed lazily through ``map_partitions`` /
 with actions (``collect``, ``count``, ``reduce``).  Each dataset records the
 operation that produced it so ``lineage()`` can be inspected, mirroring RDD
 lineage-based recovery.
+
+Actions materialize partitions through an
+:class:`~repro.dataplat.executor.ExecutorBackend`: the default serial
+backend evaluates them lazily in-process exactly as before, while a parallel
+backend fans the partition tasks out Spark-style — wide (shuffle) parents
+are materialized stage-by-stage first, then the final partitions run
+concurrently.  Partition thunks are plain picklable callables, so a process
+pool can ship a task (and the lineage it needs) to a worker; tasks that
+capture unpicklable user functions transparently fall back to in-process
+execution.  Under a :class:`~repro.dataplat.resilience.TaskRuntime`, fan-out
+tasks draw their injected faults keyed by ``(op, partition, attempt)`` so
+chaos is deterministic per task id, not per submission order.
 """
 
 from __future__ import annotations
@@ -16,7 +28,8 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..errors import ExecutionError
-from .resilience import TaskRuntime
+from .executor import ExecutorBackend, resolve_backend
+from .resilience import FaultInjector, SimClock, TaskRuntime
 from .schema import Schema
 from .table import Table
 
@@ -50,6 +63,10 @@ class Dataset:
         self._cache: list[Table | None] = [None] * len(partition_thunks)
         self._op = op
         self._parents = tuple(parents)
+        #: Wide (shuffle) dependency: every parent partition feeds every
+        #: child partition, so parents are materialized as a stage first
+        #: when fanning out in parallel.
+        self._wide = False
         if runtime is None:
             for parent in self._parents:
                 if parent._runtime is not None:
@@ -72,10 +89,10 @@ class Dataset:
         if num_partitions < 1:
             raise ExecutionError(f"num_partitions must be >= 1, got {num_partitions}")
         bounds = np.linspace(0, table.num_rows, num_partitions + 1).astype(int)
-        thunks = []
-        for lo, hi in zip(bounds[:-1], bounds[1:]):
-            indices = np.arange(lo, hi)
-            thunks.append(lambda t=table, ix=indices: t.take(ix))
+        thunks = [
+            _SliceThunk(table, int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
         return cls(
             table.schema,
             thunks,
@@ -96,7 +113,7 @@ class Dataset:
         for p in partitions[1:]:
             if p.schema != schema:
                 raise ExecutionError("partitions have differing schemas")
-        thunks = [lambda t=p: t for p in partitions]
+        thunks = [_ConstThunk(p) for p in partitions]
         return cls(
             schema,
             thunks,
@@ -145,33 +162,34 @@ class Dataset:
 
     def map_partitions(self, fn: PartitionFn, schema: Schema, op: str = "map") -> "Dataset":
         """Apply ``fn`` to every partition, producing tables with ``schema``."""
-        thunks = [
-            lambda i=i: _check_schema(fn(self._partition(i)), schema, op)
-            for i in range(self.num_partitions)
+        out = Dataset(schema, [], op=op, parents=[self])
+        out._thunks = [
+            _MapThunk(self, i, fn, schema, op) for i in range(self.num_partitions)
         ]
-        return Dataset(schema, thunks, op=op, parents=[self])
+        out._cache = [None] * self.num_partitions
+        return out
 
     def filter(self, predicate: Callable[[Table], np.ndarray]) -> "Dataset":
         """Keep rows whose vectorized ``predicate`` is true."""
         return self.map_partitions(
-            lambda t: t.filter(predicate), self._schema, op="filter"
+            _FilterFn(predicate), self._schema, op="filter"
         )
 
     def select(self, names: Sequence[str]) -> "Dataset":
         """Project every partition onto ``names``."""
         schema = self._schema.select(names)
-        return self.map_partitions(lambda t: t.select(names), schema, op="select")
+        return self.map_partitions(_SelectFn(list(names)), schema, op="select")
 
     def union(self, other: "Dataset") -> "Dataset":
         """Concatenate partitions of two schema-compatible datasets."""
         if other.schema != self._schema:
             raise ExecutionError("union requires identical schemas")
-        thunks = [
-            lambda i=i: self._partition(i) for i in range(self.num_partitions)
-        ] + [
-            lambda i=i: other._partition(i) for i in range(other.num_partitions)
-        ]
-        return Dataset(self._schema, thunks, op="union", parents=[self, other])
+        out = Dataset(self._schema, [], op="union", parents=[self, other])
+        out._thunks = [
+            _PartitionThunk(self, i) for i in range(self.num_partitions)
+        ] + [_PartitionThunk(other, i) for i in range(other.num_partitions)]
+        out._cache = [None] * len(out._thunks)
+        return out
 
     def repartition_by_key(self, key: str, num_partitions: int) -> "Dataset":
         """Shuffle: co-locate rows with equal ``key`` hash in one partition.
@@ -181,36 +199,31 @@ class Dataset:
         """
         if num_partitions < 1:
             raise ExecutionError(f"num_partitions must be >= 1, got {num_partitions}")
-
-        def build(target: int) -> Table:
-            pieces = []
-            for i in range(self.num_partitions):
-                part = self._partition(i)
-                hashes = _bucket_hash(part.column(key)) % num_partitions
-                pieces.append(part.mask(hashes == target))
-            out = pieces[0]
-            for piece in pieces[1:]:
-                out = out.concat_rows(piece)
-            return out
-
-        thunks = [lambda t=t: build(t) for t in range(num_partitions)]
-        return Dataset(
-            self._schema, thunks, op=f"shuffle[{key}->{num_partitions}]", parents=[self]
+        out = Dataset(
+            self._schema, [], op=f"shuffle[{key}->{num_partitions}]", parents=[self]
         )
+        out._thunks = [
+            _ShuffleThunk(self, key, num_partitions, t)
+            for t in range(num_partitions)
+        ]
+        out._cache = [None] * num_partitions
+        out._wide = True
+        return out
 
     def join(self, other: "Dataset", on: str, num_partitions: int = 4) -> "Dataset":
         """Shuffle equi-join on a single key column."""
         left = self.repartition_by_key(on, num_partitions)
         right = other.repartition_by_key(on, num_partitions)
 
-        def build(i: int) -> Table:
-            return left._partition(i).join(right._partition(i), on=[on])
-
         probe = Table.empty(self._schema).join(
             Table.empty(other.schema), on=[on]
         )
-        thunks = [lambda i=i: build(i) for i in range(num_partitions)]
-        return Dataset(probe.schema, thunks, op=f"join[{on}]", parents=[left, right])
+        out = Dataset(probe.schema, [], op=f"join[{on}]", parents=[left, right])
+        out._thunks = [
+            _JoinThunk(left, right, i, on) for i in range(num_partitions)
+        ]
+        out._cache = [None] * num_partitions
+        return out
 
     def group_by_key(
         self,
@@ -227,40 +240,53 @@ class Dataset:
         """
         shuffled = self.repartition_by_key(key, num_partitions)
         probe = Table.empty(self._schema).group_by([key], aggregations)
-
-        def build(i: int) -> Table:
-            part = shuffled._partition(i)
-            if part.num_rows == 0:
-                return Table.empty(probe.schema)
-            return part.group_by([key], aggregations)
-
-        thunks = [lambda i=i: build(i) for i in range(num_partitions)]
-        return Dataset(
-            probe.schema, thunks, op=f"group_by[{key}]", parents=[shuffled]
+        out = Dataset(
+            probe.schema, [], op=f"group_by[{key}]", parents=[shuffled]
         )
+        out._thunks = [
+            _GroupThunk(shuffled, i, key, dict(aggregations), probe.schema)
+            for i in range(num_partitions)
+        ]
+        out._cache = [None] * num_partitions
+        return out
 
     # ------------------------------------------------------------------
     # Actions (eager)
     # ------------------------------------------------------------------
 
-    def collect(self) -> Table:
-        """Materialize the whole dataset as one table."""
+    def collect(
+        self, backend: "ExecutorBackend | str | None" = None
+    ) -> Table:
+        """Materialize the whole dataset as one table.
+
+        ``backend`` selects how partition tasks execute (see
+        :mod:`repro.dataplat.executor`); ``None`` uses the process-wide
+        default.
+        """
+        self.materialize(backend)
         parts = [self._partition(i) for i in range(self.num_partitions)]
         out = parts[0]
         for part in parts[1:]:
             out = out.concat_rows(part)
         return out
 
-    def count(self) -> int:
+    def count(self, backend: "ExecutorBackend | str | None" = None) -> int:
         """Total number of rows."""
+        self.materialize(backend)
         return sum(self._partition(i).num_rows for i in range(self.num_partitions))
 
-    def reduce_column(self, name: str, fn: str = "sum") -> float:
+    def reduce_column(
+        self,
+        name: str,
+        fn: str = "sum",
+        backend: "ExecutorBackend | str | None" = None,
+    ) -> float:
         """Reduce one numeric column across all partitions.
 
         ``fn`` is ``sum``, ``min`` or ``max``; partial results per partition
         are combined, as a distributed reduce would.
         """
+        self.materialize(backend)
         partials = []
         for i in range(self.num_partitions):
             col = self._partition(i).column(name)
@@ -284,6 +310,70 @@ class Dataset:
         return float(np.max(partials))
 
     # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+
+    def materialize(
+        self, backend: "ExecutorBackend | str | None" = None
+    ) -> "Dataset":
+        """Compute and cache every partition through ``backend``.
+
+        A serial backend keeps the historical behaviour: partitions are
+        evaluated lazily in-process, with counter-based fault draws.  A
+        parallel backend executes Spark-style stages — wide (shuffle)
+        parents first, then this dataset's partitions fanned out
+        concurrently, each task drawing faults keyed by its task id so
+        results and chaos decisions are bit-identical to a serial run.
+        """
+        resolved = resolve_backend(backend)
+        if resolved.parallelism <= 1:
+            for i in range(self.num_partitions):
+                self._partition(i)
+            return self
+        self._materialize_stages(resolved)
+        return self
+
+    def _materialize_stages(self, backend: ExecutorBackend) -> None:
+        # Wide dependencies form stage barriers: materializing shuffle
+        # parents here (recursively, bottom-up) means fan-out tasks ship
+        # cached parent tables instead of recomputing every parent
+        # partition once per target.
+        for parent in self._stage_parents():
+            parent._materialize_stages(backend)
+        pending = [i for i, c in enumerate(self._cache) if c is None]
+        if not pending:
+            return
+        spec = None
+        if self._runtime is not None:
+            rt = self._runtime
+            spec = (rt.retry_policy, rt.injector.policy, rt.injector.seed)
+        tasks = [(spec, self._op, i, self._thunks[i]) for i in pending]
+        results = backend.map(_run_partition_task, tasks)
+        for i, (table, counters) in zip(pending, results):
+            self._cache[i] = table
+            if counters is not None and self._runtime is not None:
+                self._runtime.absorb_counters(counters)
+
+    def _stage_parents(self) -> list["Dataset"]:
+        """Nearest wide ancestors (plus wide self's parents) to pre-build."""
+        if self._wide:
+            # A shuffle reads every parent partition; build parents first.
+            return list(self._parents)
+        found: list[Dataset] = []
+        seen: set[int] = set()
+        stack = list(self._parents)
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node._wide:
+                found.append(node)
+            else:
+                stack.extend(node._parents)
+        return found
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -298,6 +388,171 @@ class Dataset:
         return cached
 
 
+# ----------------------------------------------------------------------
+# Picklable partition thunks and task helpers
+#
+# Thunks are small callable objects (not closures) so a process-pool
+# backend can pickle a task together with the lineage slice it needs; a
+# thunk wrapping an unpicklable user function simply makes its batch fall
+# back to in-process execution.
+# ----------------------------------------------------------------------
+
+
+class _ConstThunk:
+    """A pre-built partition."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def __call__(self) -> Table:
+        return self.table
+
+
+class _SliceThunk:
+    """One row-range of a root table."""
+
+    def __init__(self, table: Table, lo: int, hi: int) -> None:
+        self.table = table
+        self.lo = lo
+        self.hi = hi
+
+    def __call__(self) -> Table:
+        return self.table.take(np.arange(self.lo, self.hi))
+
+
+class _PartitionThunk:
+    """Partition ``index`` of a parent dataset (union re-exposure)."""
+
+    def __init__(self, parent: Dataset, index: int) -> None:
+        self.parent = parent
+        self.index = index
+
+    def __call__(self) -> Table:
+        return self.parent._partition(self.index)
+
+
+class _MapThunk:
+    """``fn`` over one parent partition, schema-checked."""
+
+    def __init__(
+        self, parent: Dataset, index: int, fn: PartitionFn, schema: Schema, op: str
+    ) -> None:
+        self.parent = parent
+        self.index = index
+        self.fn = fn
+        self.schema = schema
+        self.op = op
+
+    def __call__(self) -> Table:
+        return _check_schema(
+            self.fn(self.parent._partition(self.index)), self.schema, self.op
+        )
+
+
+class _FilterFn:
+    """Partition function applying a row predicate."""
+
+    def __init__(self, predicate: Callable[[Table], np.ndarray]) -> None:
+        self.predicate = predicate
+
+    def __call__(self, table: Table) -> Table:
+        return table.filter(self.predicate)
+
+
+class _SelectFn:
+    """Partition function projecting onto named columns."""
+
+    def __init__(self, names: list[str]) -> None:
+        self.names = names
+
+    def __call__(self, table: Table) -> Table:
+        return table.select(self.names)
+
+
+class _ShuffleThunk:
+    """All parent rows whose key hashes to ``target``."""
+
+    def __init__(
+        self, parent: Dataset, key: str, num_partitions: int, target: int
+    ) -> None:
+        self.parent = parent
+        self.key = key
+        self.num_partitions = num_partitions
+        self.target = target
+
+    def __call__(self) -> Table:
+        pieces = []
+        for i in range(self.parent.num_partitions):
+            part = self.parent._partition(i)
+            hashes = _bucket_hash(part.column(self.key)) % self.num_partitions
+            pieces.append(part.mask(hashes == self.target))
+        out = pieces[0]
+        for piece in pieces[1:]:
+            out = out.concat_rows(piece)
+        return out
+
+
+class _JoinThunk:
+    """Co-partitioned equi-join of one shuffle bucket."""
+
+    def __init__(self, left: Dataset, right: Dataset, index: int, on: str) -> None:
+        self.left = left
+        self.right = right
+        self.index = index
+        self.on = on
+
+    def __call__(self) -> Table:
+        return self.left._partition(self.index).join(
+            self.right._partition(self.index), on=[self.on]
+        )
+
+
+class _GroupThunk:
+    """Reduce-side grouped aggregation of one shuffle bucket."""
+
+    def __init__(
+        self,
+        shuffled: Dataset,
+        index: int,
+        key: str,
+        aggregations: dict[str, tuple[str, str]],
+        out_schema: Schema,
+    ) -> None:
+        self.shuffled = shuffled
+        self.index = index
+        self.key = key
+        self.aggregations = aggregations
+        self.out_schema = out_schema
+
+    def __call__(self) -> Table:
+        part = self.shuffled._partition(self.index)
+        if part.num_rows == 0:
+            return Table.empty(self.out_schema)
+        return part.group_by([self.key], self.aggregations)
+
+
+def _run_partition_task(args):
+    """Top-level fan-out task body (must be picklable by name).
+
+    Runs one partition thunk, optionally under a *fresh* task runtime built
+    from ``spec`` — fresh so the worker never mutates shared parent state,
+    which makes the in-process pickling fallback and the cross-process path
+    behave identically.  Returns ``(table, counters)`` where counters is the
+    worker runtime's accounting to fold back into the parent runtime.
+    """
+    spec, op, index, thunk = args
+    if spec is None:
+        return thunk(), None
+    retry_policy, fault_policy, fault_seed = spec
+    runtime = TaskRuntime(
+        retry_policy=retry_policy,
+        injector=FaultInjector(fault_policy, seed=fault_seed),
+        clock=SimClock(),
+    )
+    result = runtime.run_task_keyed(op, index, thunk)
+    return result, runtime.snapshot()
+
+
 def _check_schema(table: Table, schema: Schema, op: str) -> Table:
     if table.schema != schema:
         raise ExecutionError(
@@ -308,10 +563,18 @@ def _check_schema(table: Table, schema: Schema, op: str) -> Table:
 
 
 def _bucket_hash(values: np.ndarray) -> np.ndarray:
-    """Stable non-negative bucket hash for a key column."""
+    """Stable non-negative bucket hash for a key column.
+
+    Must be deterministic *across processes* (unlike builtin ``hash``,
+    which is salted per interpreter): shuffle targets computed in different
+    pool workers have to agree on every row's bucket.
+    """
     if values.dtype.kind in "iub":
         return np.abs(values.astype(np.int64))
-    # String keys: cheap deterministic per-value hash.
+    # String keys: cheap deterministic per-value hash (crc32 is stable).
+    import zlib
+
     return np.asarray(
-        [abs(hash(("ds", v))) for v in values.tolist()], dtype=np.int64
+        [zlib.crc32(str(v).encode("utf-8")) for v in values.tolist()],
+        dtype=np.int64,
     )

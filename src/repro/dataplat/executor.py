@@ -1,0 +1,215 @@
+"""Execution backends for the compute hot paths.
+
+The paper's platform gets its throughput from parallel task execution on a
+Spark/Hadoop cluster; this module is the reproduction's equivalent — a small
+backend abstraction that the hot paths (dataset partition materialization,
+per-tree forest fits, per-month wide-table builds) fan work out through:
+
+* :class:`SerialBackend` — everything in-process, in submission order.  The
+  zero-dependency default and the reference for parity testing.
+* :class:`ProcessPoolBackend` — a ``concurrent.futures`` process pool.
+  Tasks must be *picklable* (top-level callables and plain-data arguments);
+  a batch containing anything unpicklable (e.g. a user lambda inside a
+  dataset thunk) transparently falls back to serial execution in the parent
+  process, counted in :attr:`ProcessPoolBackend.fallbacks`.
+
+**Determinism contract.**  ``map`` always returns results in submission
+order, and callers pre-draw any randomness (bootstrap indices, tree seeds)
+*before* submitting, so every backend produces bit-identical results for the
+same task list.  Fault injection on parallel paths is keyed by task id (see
+:meth:`repro.dataplat.resilience.FaultInjector.should_keyed`), never by
+wall-clock submission order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from ..config import ExecutorConfig
+from ..errors import ExecutionError
+
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "get_default_backend",
+    "set_default_backend",
+]
+
+
+class ExecutorBackend:
+    """Maps a picklable function over task arguments, preserving order."""
+
+    #: Short backend kind, e.g. ``"serial"`` or ``"process"``.
+    name = "abstract"
+
+    @property
+    def parallelism(self) -> int:
+        """Number of tasks that can run at once."""
+        return 1
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        """Apply ``fn`` to every item, returning results in item order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutorBackend):
+    """Run every task inline, in submission order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class ProcessPoolBackend(ExecutorBackend):
+    """Fan tasks out to a ``concurrent.futures`` process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; 0 means one per CPU.
+
+    The pool is created lazily on first :meth:`map` and survives across
+    calls (so repeated fan-outs amortize worker start-up).  Batches whose
+    function or arguments cannot be pickled run serially in the parent
+    instead — the result is identical because tasks are self-contained; the
+    ``fallbacks`` counter records how often that happened.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int = 0) -> None:
+        if max_workers < 0:
+            raise ExecutionError(f"max_workers must be >= 0, got {max_workers}")
+        self._max_workers = max_workers if max_workers > 0 else (os.cpu_count() or 1)
+        self._pool: ProcessPoolExecutor | None = None
+        #: Batches executed serially because they were not picklable.
+        self.fallbacks = 0
+        #: Tasks actually executed in worker processes.
+        self.tasks_dispatched = 0
+
+    @property
+    def parallelism(self) -> int:
+        return self._max_workers
+
+    def map(self, fn: Callable, items: Sequence) -> list:
+        items = list(items)
+        if not items:
+            return []
+        if self._max_workers == 1 or not self._picklable(fn, items):
+            if self._max_workers != 1:
+                self.fallbacks += 1
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        chunksize = max(1, len(items) // (self._max_workers * 4))
+        self.tasks_dispatched += len(items)
+        return list(pool.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            mp_context = None
+            try:
+                import multiprocessing
+
+                # Prefer fork where available: workers inherit the parent's
+                # interpreter state (hash seed included), and start-up is
+                # far cheaper than spawn.
+                if "fork" in multiprocessing.get_all_start_methods():
+                    mp_context = multiprocessing.get_context("fork")
+            except (ImportError, ValueError):  # pragma: no cover
+                mp_context = None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._max_workers, mp_context=mp_context
+            )
+        return self._pool
+
+    @staticmethod
+    def _picklable(fn: Callable, items: Sequence) -> bool:
+        try:
+            pickle.dumps(fn)
+            for item in items:
+                pickle.dumps(item)
+        except Exception:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolBackend(max_workers={self._max_workers})"
+
+    # A backend owns OS resources; it never travels inside pickled tasks.
+    def __reduce__(self):
+        raise pickle.PicklingError("ProcessPoolBackend is not picklable")
+
+
+def make_backend(config: ExecutorConfig) -> ExecutorBackend:
+    """Instantiate the backend an :class:`ExecutorConfig` describes."""
+    if config.backend == "process":
+        return ProcessPoolBackend(max_workers=config.num_workers)
+    return SerialBackend()
+
+
+def resolve_backend(
+    backend: "ExecutorBackend | ExecutorConfig | str | None",
+) -> ExecutorBackend:
+    """Normalize any backend spec to an :class:`ExecutorBackend` instance.
+
+    Accepts an instance (returned as-is), an :class:`ExecutorConfig`, a kind
+    string (``"serial"`` / ``"process"``), or ``None`` for the process-wide
+    default (see :func:`get_default_backend`).
+    """
+    if backend is None:
+        return get_default_backend()
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    if isinstance(backend, ExecutorConfig):
+        return make_backend(backend)
+    if isinstance(backend, str):
+        if backend == "serial":
+            return SerialBackend()
+        if backend == "process":
+            return ProcessPoolBackend()
+        raise ExecutionError(f"unknown backend kind {backend!r}")
+    raise ExecutionError(f"cannot interpret backend spec {backend!r}")
+
+
+_default_backend: ExecutorBackend | None = None
+
+
+def get_default_backend() -> ExecutorBackend:
+    """The process-wide default backend.
+
+    Created on first use from ``REPRO_NUM_WORKERS`` / ``REPRO_BACKEND``
+    (see :meth:`repro.config.ExecutorConfig.from_env`); serial when unset.
+    """
+    global _default_backend
+    if _default_backend is None:
+        _default_backend = make_backend(ExecutorConfig.from_env())
+    return _default_backend
+
+
+def set_default_backend(backend: ExecutorBackend | None) -> None:
+    """Override the process-wide default (``None`` re-reads the env)."""
+    global _default_backend
+    _default_backend = backend

@@ -27,6 +27,7 @@ violations, unknown tables and other deterministic failures fail fast.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
@@ -210,6 +211,27 @@ class FaultInjector:
             self.injected[kind] += 1
         return bool(fire)
 
+    def should_keyed(self, kind: str, key: object) -> bool:
+        """Bernoulli decision for ``kind`` keyed by a stable task id.
+
+        Unlike :meth:`should`, the decision depends only on the injector
+        seed, the fault kind and ``key`` — never on how many draws happened
+        before, or in which process the draw runs.  Parallel backends use
+        this so chaos stays deterministic per task id regardless of
+        wall-clock submission order (builtin ``hash`` is avoided: it is
+        salted per interpreter, which would desynchronize worker processes).
+        """
+        rate = self.policy.rate(kind)
+        if rate <= 0.0:
+            return False
+        kind_id = FAULT_KINDS.index(kind)
+        digest = hashlib.sha256(repr((kind_id, key)).encode()).digest()
+        stream = int.from_bytes(digest[:8], "big")
+        fire = np.random.default_rng((self.seed, kind_id, stream)).random() < rate
+        if fire:
+            self.injected[kind] += 1
+        return bool(fire)
+
     @property
     def total_injected(self) -> int:
         return sum(self.injected.values())
@@ -265,6 +287,67 @@ class TaskRuntime:
         finally:
             self.task_attempts[key] = attempts
 
+    def run_task_keyed(self, op: str, index: int, thunk: Callable[[], object]):
+        """Like :meth:`run_task`, but fault draws are keyed by task id.
+
+        Used by the parallel fan-out path: the ``n``-th attempt of task
+        ``(op, index)`` draws its faults from a stream seeded by that triple
+        (:meth:`FaultInjector.should_keyed`), so the decision is identical
+        whether the task runs first or last, serially or in a worker
+        process.  Counter-based draws (:meth:`run_task`) stay the behaviour
+        of the lazy single-partition path.
+        """
+        key = (op, index)
+        attempts = 0
+
+        def attempt():
+            nonlocal attempts
+            attempts += 1
+            if self.injector.should_keyed("task_slow", (op, index, attempts)):
+                self.slow_tasks += 1
+                self.clock.sleep(self.injector.policy.slow_task_penalty)
+            if self.injector.should_keyed("task_failure", (op, index, attempts)):
+                raise TransientError(
+                    f"injected task failure: {op} partition {index}"
+                )
+            return thunk()
+
+        def on_retry(retry_index: int, pause: float, exc: BaseException) -> None:
+            self.task_retries += 1
+
+        try:
+            return self.retry_policy.call(
+                attempt, clock=self.clock, on_retry=on_retry
+            )
+        finally:
+            self.task_attempts[key] = attempts
+
+    def snapshot(self) -> dict:
+        """Accounting counters, for merging across process boundaries."""
+        return {
+            "task_attempts": dict(self.task_attempts),
+            "task_retries": self.task_retries,
+            "slow_tasks": self.slow_tasks,
+            "injected": dict(self.injector.injected),
+            "clock": self.clock.now,
+        }
+
+    def absorb_counters(self, counters: dict) -> None:
+        """Fold a worker runtime's accounting back into this runtime.
+
+        ``counters`` is the :meth:`snapshot` of a *fresh* runtime that
+        executed tasks on a worker (in another process, or in-process on
+        the pickling-fallback path); all its counts are deltas, so shipping
+        tasks to N workers never double-counts.
+        """
+        self.task_attempts.update(counters["task_attempts"])
+        self.task_retries += counters["task_retries"]
+        self.slow_tasks += counters["slow_tasks"]
+        for kind, count in counters["injected"].items():
+            self.injector.injected[kind] += count
+        if counters["clock"] > 0:
+            self.clock.sleep(counters["clock"])
+
 
 @dataclass(frozen=True)
 class ResilienceEvent:
@@ -294,6 +377,8 @@ class PipelineHealthReport:
     re_replicated_blocks: int = 0
     quarantined_rows: int = 0
     faults_injected: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     events: list[ResilienceEvent] = field(default_factory=list)
 
     def record(self, kind: str, subject: str, detail: str = "") -> None:
@@ -321,6 +406,8 @@ class PipelineHealthReport:
         self.corrupt_replicas_detected += health.corrupt_replicas_detected
         self.re_replicated_blocks += health.replicas_recreated
         self.faults_injected += health.transient_read_failures
+        self.cache_hits += getattr(health, "cache_hits", 0)
+        self.cache_misses += getattr(health, "cache_misses", 0)
 
     def absorb_runtime(self, runtime: TaskRuntime) -> None:
         self.task_retries += runtime.task_retries
@@ -343,6 +430,12 @@ class PipelineHealthReport:
         )
         lines.append(f"  quarantined rows: {self.quarantined_rows}")
         lines.append(f"  faults injected: {self.faults_injected}")
+        reads = self.cache_hits + self.cache_misses
+        if reads:
+            lines.append(
+                f"  table cache: {self.cache_hits}/{reads} hits "
+                f"({self.cache_hits / reads:.0%})"
+            )
         return "\n".join(lines)
 
 

@@ -109,13 +109,15 @@ class Executor:
             return out
         if isinstance(node, Distinct):
             child = self._run(node.child)
-            seen: set = set()
-            keep = []
-            for i, row in enumerate(child.rows()):
-                if row not in seen:
-                    seen.add(row)
-                    keep.append(i)
-            return child.take(np.asarray(keep, dtype=np.intp))
+            if child.num_rows == 0:
+                return child
+            # Factorize the packed row key: np.unique's first-occurrence
+            # indices, sorted, keep rows in input order — same result as
+            # the old per-row hash-set walk without the Python loop.
+            _, _, first_idx = _factorize(
+                [child.column(name) for name in child.schema.names]
+            )
+            return child.take(np.sort(first_idx))
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
     def _scan(self, node: Scan) -> Table:
@@ -289,11 +291,8 @@ def evaluate(expr: Expr, table: Table) -> np.ndarray:
             result = np.zeros(n, dtype=bool)
         return ~result if expr.negated else result
     if isinstance(expr, Like):
-        operand = evaluate(expr.operand, table)
-        regex = _like_regex(expr.pattern)
-        result = np.asarray(
-            [bool(regex.fullmatch(str(v))) for v in np.atleast_1d(operand)]
-        )
+        operand = np.atleast_1d(np.asarray(evaluate(expr.operand, table)))
+        result = _like_match(operand, expr.pattern)
         return ~result if expr.negated else result
     if isinstance(expr, Star):
         raise SQLAnalysisError("* is only valid in SELECT lists and COUNT(*)")
@@ -341,6 +340,31 @@ def _binary(expr: BinaryOp, table: Table) -> np.ndarray:
     if expr.op == "%":
         return np.mod(lf, np.where(rf == 0, 1, rf))
     raise SQLAnalysisError(f"unknown operator {expr.op!r}")
+
+
+def _like_match(values: np.ndarray, pattern: str) -> np.ndarray:
+    """Vectorized LIKE over a column.
+
+    The common wildcard shapes — ``foo``, ``foo%``, ``%foo``, ``%foo%``
+    (no ``_``, ``%`` only at the ends) — map onto whole-column equality /
+    prefix / suffix / substring tests; anything else keeps the anchored
+    regex per row.
+    """
+    strings = values.astype(str)
+    if "_" not in pattern:
+        body = pattern.strip("%")
+        if "%" not in body:
+            leading = pattern.startswith("%")
+            trailing = pattern.endswith("%")
+            if leading and trailing:
+                return np.char.find(strings, body) >= 0
+            if trailing:
+                return np.char.startswith(strings, body)
+            if leading:
+                return np.char.endswith(strings, body)
+            return strings == body
+    regex = _like_regex(pattern)
+    return np.asarray([bool(regex.fullmatch(v)) for v in strings])
 
 
 def _like_regex(pattern: str) -> "re.Pattern[str]":

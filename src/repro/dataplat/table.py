@@ -108,6 +108,20 @@ class Table:
         return self._length
 
     @property
+    def nbytes(self) -> int:
+        """Approximate decoded size in bytes (cache accounting).
+
+        Object (string) columns count the pointer array plus the character
+        payload, so a wide string table is not billed as 8 bytes per cell.
+        """
+        total = 0
+        for arr in self._data.values():
+            total += arr.nbytes
+            if arr.dtype.kind == "O":
+                total += sum(len(str(v)) for v in arr)
+        return total
+
+    @property
     def num_columns(self) -> int:
         return len(self._schema)
 

@@ -19,6 +19,7 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..datagen.simulator import TelcoWorld
+from ..dataplat.executor import ExecutorBackend, resolve_backend
 from ..dataplat.resilience import PipelineHealthReport
 from ..dataplat.sql import SQLEngine
 from ..errors import DataPlatformError, FeatureError
@@ -175,6 +176,61 @@ class WideTableBuilder:
             blocks.append(block)
         return FeatureMatrix.concat(blocks)
 
+    def prefetch(
+        self,
+        months: Sequence[int],
+        categories: Sequence[str],
+        backend: "ExecutorBackend | str | None" = None,
+    ) -> "WideTableBuilder":
+        """Warm the block cache for a month window, one task per month.
+
+        Per-month family builds are independent once the month's raw tables
+        are registered, so they fan out across an
+        :class:`~repro.dataplat.executor.ExecutorBackend`: each task builds
+        every still-missing block of one month and ships the finished
+        :class:`FeatureMatrix` objects back to this builder's cache.  Blocks
+        are identical to what :meth:`category` would build in-process — the
+        build path is shared — so prefetching is purely a wall-clock
+        optimization.
+
+        Supervised families (F7/F8/F9) are skipped when the extractors are
+        not fitted yet rather than raising: prefetch is best-effort warming,
+        and the strict error still comes from :meth:`category`.  Unknown
+        category names do raise, matching :meth:`category`.
+        """
+        for category in categories:
+            if category not in ALL_CATEGORIES:
+                raise FeatureError(
+                    f"unknown category {category!r}; expected one of "
+                    f"{ALL_CATEGORIES}"
+                )
+        buildable = tuple(
+            c
+            for c in dict.fromkeys(categories)
+            if (c not in ("F7", "F8") or c in self._topics)
+            and (c != "F9" or self._second_order is not None)
+        )
+        pending = [
+            (m, missing)
+            for m in dict.fromkeys(months)
+            if (
+                missing := tuple(
+                    c for c in buildable if (c, m) not in self._cache
+                )
+            )
+        ]
+        if not pending:
+            return self
+        # Register months in the parent first: workers receive a complete
+        # engine, and the serial path needs the views anyway.
+        for month, _ in pending:
+            self._register_month(month)
+        resolved = resolve_backend(backend)
+        tasks = [(self, month, missing) for month, missing in pending]
+        for blocks in resolved.map(_build_month_blocks, tasks):
+            self._cache.update(blocks)
+        return self
+
     # ------------------------------------------------------------------
     # Graceful degradation
     # ------------------------------------------------------------------
@@ -233,3 +289,14 @@ class WideTableBuilder:
         for name, table in tables.items():
             self._engine.register(table, f"{name}_m{month}")
         self._registered.add(month)
+
+
+def _build_month_blocks(args):
+    """Build one month's missing blocks on a (possibly remote) builder copy.
+
+    Top-level for picklability.  The worker's builder is a deep copy, so
+    mutating its caches is invisible; only the requested blocks travel back,
+    keyed for a plain ``dict.update`` into the parent's cache.
+    """
+    builder, month, categories = args
+    return {(c, month): builder.category(c, month) for c in categories}

@@ -5,6 +5,13 @@ a test instance is the average of tree outputs (Eq. 4), and per-feature
 importance sums Gini improvements over all trees (Eq. 7).  The deployed
 system uses 500 trees with a 100-instance leaf floor; those are the defaults
 of :meth:`RandomForestClassifier.paper_settings`.
+
+Training and prediction fan out per-tree work through an
+:class:`~repro.dataplat.executor.ExecutorBackend`.  Results are
+**bit-identical** across backends: every tree's bootstrap indices and
+subspace seed are pre-drawn from the master RNG in tree order before any
+task is submitted, trees are fitted independently, and prediction sums tree
+outputs in tree order regardless of which worker produced them.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import PAPER
+from ..dataplat.executor import ExecutorBackend, resolve_backend
 from ..errors import ModelError, NotFittedError
 from .tree import DecisionTree
 
@@ -31,6 +39,12 @@ class RandomForestClassifier:
         Per-node feature subsample; the paper uses ``"sqrt"``.
     seed:
         Master seed; each tree derives its own bootstrap and subspace RNG.
+    backend:
+        Execution backend for per-tree fit/predict tasks (any spec accepted
+        by :func:`~repro.dataplat.executor.resolve_backend`); ``None`` uses
+        the process-wide default.  Not part of the model state: it is
+        dropped on pickling, so a fitted forest travels to worker processes
+        without dragging a pool along.
     """
 
     def __init__(
@@ -40,6 +54,7 @@ class RandomForestClassifier:
         max_depth: int = 25,
         max_features: str | int | None = "sqrt",
         seed: int = 0,
+        backend: "ExecutorBackend | str | None" = None,
     ) -> None:
         if n_trees < 1:
             raise ModelError(f"n_trees must be >= 1, got {n_trees}")
@@ -48,8 +63,14 @@ class RandomForestClassifier:
         self.max_depth = max_depth
         self.max_features = max_features
         self.seed = seed
+        self._backend = backend
         self._trees: list[DecisionTree] | None = None
         self._n_features = 0
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_backend"] = None  # backends own OS resources; never pickle
+        return state
 
     @classmethod
     def paper_settings(cls, seed: int = 0) -> "RandomForestClassifier":
@@ -65,6 +86,7 @@ class RandomForestClassifier:
         x: np.ndarray,
         y: np.ndarray,
         sample_weight: np.ndarray | None = None,
+        backend: "ExecutorBackend | str | None" = None,
     ) -> "RandomForestClassifier":
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
@@ -74,30 +96,52 @@ class RandomForestClassifier:
             sample_weight = np.asarray(sample_weight, dtype=np.float64)
         rng = np.random.default_rng(self.seed)
         n = len(y)
-        trees = []
+        # Pre-draw every tree's bootstrap and subspace seed in tree order
+        # BEFORE dispatch: tree t's randomness never depends on the backend
+        # or on scheduling, so parallel fits are bit-identical to serial.
+        draws = []
         for t in range(self.n_trees):
             boot = rng.integers(0, n, size=n)
-            tree = DecisionTree(
-                criterion="gini",
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                seed=int(rng.integers(0, 2**31 - 1)),
-            )
-            weights = None if sample_weight is None else sample_weight[boot]
-            tree.fit(x[boot], y[boot], sample_weight=weights)
-            trees.append(tree)
-        self._trees = trees
+            draws.append((boot, int(rng.integers(0, 2**31 - 1))))
+        params = {
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+        resolved = resolve_backend(backend if backend is not None else self._backend)
+        chunks = _chunk_indices(self.n_trees, resolved.parallelism)
+        tasks = [
+            (params, x, y, sample_weight, [draws[t] for t in chunk])
+            for chunk in chunks
+        ]
+        results = resolved.map(_fit_tree_chunk, tasks)
+        self._trees = [tree for chunk_trees in results for tree in chunk_trees]
         self._n_features = x.shape[1]
         return self
 
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
-        """Churner likelihood: the average of tree outputs (Eq. 4)."""
+    def predict_proba(
+        self,
+        x: np.ndarray,
+        backend: "ExecutorBackend | str | None" = None,
+    ) -> np.ndarray:
+        """Churner likelihood: the average of tree outputs (Eq. 4).
+
+        The input is cast to float64 once (trees skip their per-call cast
+        via :meth:`DecisionTree.predict`'s ``apply`` on the shared array)
+        and tree outputs are accumulated in tree order whatever backend
+        computed them, keeping the floating-point sum bit-identical across
+        serial and parallel runs.
+        """
         trees = self._trees_checked()
         x = np.asarray(x, dtype=np.float64)
+        resolved = resolve_backend(backend if backend is not None else self._backend)
+        chunks = _chunk_indices(len(trees), resolved.parallelism)
+        tasks = [([trees[t] for t in chunk], x) for chunk in chunks]
+        results = resolved.map(_predict_tree_chunk, tasks)
         out = np.zeros(len(x))
-        for tree in trees:
-            out += tree.predict(x)
+        for stacked in results:
+            for row in stacked:
+                out += row
         return out / len(trees)
 
     def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
@@ -108,7 +152,15 @@ class RandomForestClassifier:
         """Row indices sorted by descending churn likelihood.
 
         This is the paper's output artifact: the top of this list is the
-        monthly potential-churner list sent to retention campaigns.
+        monthly potential-churner list sent to retention campaigns.  Ties
+        are broken by a *stable* mergesort, so equal-likelihood customers
+        keep their input order — rankings are reproducible across runs and
+        backends:
+
+        >>> x, y = np.zeros((4, 2)), np.zeros(4)
+        >>> rf = RandomForestClassifier(n_trees=3, seed=0).fit(x, y)
+        >>> rf.rank(x)  # every score ties, so rows keep input order
+        array([0, 1, 2, 3])
         """
         return np.argsort(-self.predict_proba(x), kind="mergesort")
 
@@ -126,6 +178,41 @@ class RandomForestClassifier:
         if self._trees is None:
             raise NotFittedError("forest has not been fitted")
         return self._trees
+
+
+def _chunk_indices(n_items: int, parallelism: int) -> list[list[int]]:
+    """Contiguous task chunks: one per worker slot (amortizes shipping x)."""
+    n_chunks = max(1, min(n_items, parallelism))
+    return [list(chunk) for chunk in np.array_split(np.arange(n_items), n_chunks)]
+
+
+def _fit_tree_chunk(args):
+    """Fit a chunk of trees from pre-drawn (bootstrap, seed) pairs.
+
+    Top-level by design: process backends pickle tasks by name.  Each tree
+    is fully determined by its draw, so chunking is free to follow the
+    backend's parallelism without affecting results.
+    """
+    params, x, y, sample_weight, draws = args
+    trees = []
+    for boot, seed in draws:
+        tree = DecisionTree(criterion="gini", seed=seed, **params)
+        weights = None if sample_weight is None else sample_weight[boot]
+        tree.fit(x[boot], y[boot], sample_weight=weights)
+        trees.append(tree)
+    return trees
+
+
+def _predict_tree_chunk(args):
+    """Per-tree predictions of a chunk, stacked in tree order."""
+    trees, x = args
+    return np.stack([tree.predict(x) for tree in trees])
+
+
+def _fit_class_forest(args):
+    """Fit one one-vs-rest member forest (top-level for picklability)."""
+    forest, x, target = args
+    return forest.fit(x, target)
 
 
 class OneVsRestForest:
@@ -153,7 +240,12 @@ class OneVsRestForest:
         self.seed = seed
         self._forests: list[RandomForestClassifier] | None = None
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "OneVsRestForest":
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        backend: "ExecutorBackend | str | None" = None,
+    ) -> "OneVsRestForest":
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.int64)
         if len(x) != len(y):
@@ -163,21 +255,29 @@ class OneVsRestForest:
                 f"labels must be in 0..{self.n_classes - 1}, "
                 f"got range [{y.min()}, {y.max()}]"
             )
-        forests = []
+        resolved = resolve_backend(backend)
+        # Per-class fits are independent (seeds fixed per class), so they
+        # fan out whole; degenerate classes short-circuit in the parent.
+        tasks = []
+        slots: list[tuple[int, "_ConstantScorer | None"]] = []
         for c in range(self.n_classes):
             target = (y == c).astype(np.float64)
+            if target.min() == target.max():
+                # Degenerate class (absent or universal): constant score.
+                slots.append((c, _ConstantScorer(float(target[0]))))
+                continue
             forest = RandomForestClassifier(
                 n_trees=self.n_trees,
                 min_samples_leaf=self.min_samples_leaf,
                 max_depth=self.max_depth,
                 seed=self.seed + 1000 * c,
             )
-            if target.min() == target.max():
-                # Degenerate class (absent or universal): constant score.
-                forests.append(_ConstantScorer(float(target[0])))
-            else:
-                forests.append(forest.fit(x, target))
-        self._forests = forests
+            slots.append((c, None))
+            tasks.append((forest, x, target))
+        fitted = iter(resolved.map(_fit_class_forest, tasks))
+        self._forests = [
+            scorer if scorer is not None else next(fitted) for _, scorer in slots
+        ]
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,299 @@
+"""Bit-identical parity of parallel backends, and table-cache behavior.
+
+The executor's contract is that a :class:`ProcessPoolBackend` changes only
+wall-clock time, never results: forest probabilities, dataset collects and
+wide tables must match a :class:`SerialBackend` run bit for bit — including
+under injected faults, whose decisions are keyed by task id rather than by
+submission order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ExecutorConfig
+from repro.dataplat.blockstore import BlockStore, TableCache
+from repro.dataplat.catalog import Catalog
+from repro.dataplat.dataset import Dataset
+from repro.dataplat.executor import (
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    resolve_backend,
+)
+from repro.dataplat.resilience import (
+    FaultInjector,
+    FaultPolicy,
+    RetryPolicy,
+    TaskRuntime,
+)
+from repro.dataplat.table import Table
+from repro.features import WideTableBuilder
+from repro.ml.forest import OneVsRestForest, RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def pool():
+    backend = ProcessPoolBackend(max_workers=2)
+    yield backend
+    backend.close()
+
+
+def _make_xy(n=300, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    y = (rng.random(n) < 1 / (1 + np.exp(-2.0 * x[:, 0]))).astype(np.int64)
+    return x, y
+
+
+def _calls_table(n=240, seed=1):
+    rng = np.random.default_rng(seed)
+    return Table.from_arrays(
+        imsi=rng.integers(0, 40, size=n),
+        dur=rng.integers(0, 100, size=n),
+    )
+
+
+def _double_dur(table: Table) -> Table:
+    """Top-level map fn: process backends pickle tasks by name."""
+    return table.with_column("dur", np.asarray(table["dur"]) * 2)
+
+
+def _long_calls(table: Table) -> np.ndarray:
+    return np.asarray(table["dur"]) > 20
+
+
+def _grouped(table: Table, runtime=None) -> Table:
+    return (
+        Dataset.from_table(table, num_partitions=3, runtime=runtime)
+        .map_partitions(_double_dur, table.schema, op="double")
+        .filter(_long_calls)
+        .group_by_key("imsi", {"total": ("sum", "dur"), "n": ("count", "dur")})
+    )
+
+
+class TestForestParity:
+    def test_fit_predict_bit_identical(self, pool):
+        x, y = _make_xy()
+        weights = np.linspace(0.5, 2.0, len(y))
+        serial = RandomForestClassifier(n_trees=7, seed=3).fit(
+            x, y, sample_weight=weights, backend=SerialBackend()
+        )
+        parallel = RandomForestClassifier(n_trees=7, seed=3).fit(
+            x, y, sample_weight=weights, backend=pool
+        )
+        legacy = RandomForestClassifier(n_trees=7, seed=3).fit(
+            x, y, sample_weight=weights
+        )
+        p_serial = serial.predict_proba(x)
+        assert np.array_equal(p_serial, parallel.predict_proba(x, backend=pool))
+        assert np.array_equal(p_serial, parallel.predict_proba(x))
+        assert np.array_equal(p_serial, legacy.predict_proba(x))
+        assert np.array_equal(
+            serial.feature_importances_, parallel.feature_importances_
+        )
+        assert np.array_equal(serial.rank(x), parallel.rank(x))
+
+    def test_one_vs_rest_parity(self, pool):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(200, 5))
+        y = rng.integers(0, 3, size=200)
+        serial = OneVsRestForest(n_classes=3, n_trees=4, seed=2).fit(
+            x, y, backend=SerialBackend()
+        )
+        parallel = OneVsRestForest(n_classes=3, n_trees=4, seed=2).fit(
+            x, y, backend=pool
+        )
+        assert np.array_equal(serial.predict_proba(x), parallel.predict_proba(x))
+        assert np.array_equal(serial.predict(x), parallel.predict(x))
+
+    def test_fitted_forest_travels_without_backend(self, pool):
+        import pickle
+
+        x, y = _make_xy(n=80, d=4)
+        model = RandomForestClassifier(n_trees=3, seed=0, backend=pool).fit(x, y)
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone._backend is None
+        assert np.array_equal(model.predict_proba(x), clone.predict_proba(x))
+
+
+class TestDatasetParity:
+    def test_collect_map_filter_group(self, pool):
+        table = _calls_table()
+        serial = _grouped(table).collect(backend=SerialBackend())
+        parallel = _grouped(table).collect(backend=pool)
+        assert serial == parallel
+
+    def test_join_parity(self, pool):
+        left = _calls_table(seed=2)
+        right = Table.from_arrays(
+            imsi=np.arange(40), plan=np.arange(40) % 3
+        )
+        def joined():
+            return Dataset.from_table(left, 3).join(
+                Dataset.from_table(right, 2), on="imsi", num_partitions=3
+            )
+        assert joined().collect(backend=SerialBackend()) == joined().collect(
+            backend=pool
+        )
+
+    def test_parity_under_injected_faults(self, pool):
+        table = _calls_table(seed=7)
+        policy = FaultPolicy(task_failure_rate=0.3, task_slow_rate=0.2)
+
+        def run(backend):
+            runtime = TaskRuntime(
+                retry_policy=RetryPolicy(max_attempts=6),
+                injector=FaultInjector(policy, seed=13),
+            )
+            return _grouped(table, runtime=runtime).collect(backend=backend)
+
+        assert run(SerialBackend()) == run(pool)
+
+    def test_unpicklable_fn_falls_back_in_process(self):
+        backend = ProcessPoolBackend(max_workers=2)
+        table = _calls_table(seed=9)
+        threshold = 30
+        ds = Dataset.from_table(table, 3).filter(
+            lambda t: np.asarray(t["dur"]) > threshold  # closure: unpicklable task
+        )
+        out = ds.collect(backend=backend)
+        expected = table.mask(np.asarray(table["dur"]) > threshold)
+        assert out == expected
+        assert backend.fallbacks > 0
+        backend.close()
+
+
+class TestWideTableParity:
+    def test_prefetch_matches_serial_builds(self, tiny_world, pool):
+        months = [2, 3]
+        categories = ("F1", "F2", "F3")
+        lazy = WideTableBuilder(tiny_world, seed=0)
+        warmed = WideTableBuilder(tiny_world, seed=0).prefetch(
+            months, categories, pool
+        )
+        for month in months:
+            a = lazy.features(month, categories)
+            b = warmed.features(month, categories)
+            assert a.names == b.names
+            assert np.array_equal(a.imsi, b.imsi)
+            assert np.array_equal(a.values, b.values)
+
+    def test_prefetch_skips_unfitted_supervised_families(self, tiny_world):
+        builder = WideTableBuilder(tiny_world, seed=0)
+        builder.prefetch([2], ("F1", "F7", "F9"), SerialBackend())
+        assert ("F1", 2) in builder._cache
+        assert ("F7", 2) not in builder._cache
+        assert ("F9", 2) not in builder._cache
+
+
+class TestBackendConfig:
+    def test_env_selects_process_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "3")
+        cfg = ExecutorConfig.from_env()
+        assert cfg.backend == "process"
+        assert cfg.effective_workers == 3
+        backend = make_backend(cfg)
+        assert backend.parallelism == 3
+        backend.close()
+
+    def test_env_backend_override_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "4")
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        cfg = ExecutorConfig.from_env()
+        assert cfg.backend == "serial"
+        assert make_backend(cfg).parallelism == 1
+
+    def test_resolve_accepts_strings_and_instances(self):
+        assert resolve_backend("serial").parallelism == 1
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+
+class TestTableCache:
+    def test_hit_miss_counters(self):
+        cache = TableCache(max_bytes=1000)
+        assert cache.get("a") is None
+        cache.put("a", "va", 10)
+        assert cache.get("a") == "va"
+        assert cache.health.cache_misses == 1
+        assert cache.health.cache_hits == 1
+        assert cache.health.cache_hit_rate == 0.5
+
+    def test_lru_eviction_respects_budget(self):
+        cache = TableCache(max_bytes=100)
+        cache.put("a", 1, 40)
+        cache.put("b", 2, 40)
+        assert cache.get("a") == 1  # now most-recently used
+        cache.put("c", 3, 40)  # evicts b, the LRU entry
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.current_bytes <= cache.max_bytes
+        assert cache.health.cache_evictions == 1
+
+    def test_oversized_entry_never_admitted(self):
+        cache = TableCache(max_bytes=50)
+        cache.put("big", 1, 51)
+        assert "big" not in cache
+        assert len(cache) == 0
+
+    def test_put_replaces_stale_entry(self):
+        cache = TableCache(max_bytes=100)
+        cache.put("a", "old", 30)
+        cache.put("a", "new", 60)
+        assert cache.peek("a") == "new"
+        assert cache.current_bytes == 60
+
+
+class TestCatalogCache:
+    @pytest.fixture
+    def table(self):
+        return Table.from_arrays(
+            imsi=np.arange(50), balance=np.linspace(0, 1, 50)
+        )
+
+    def test_repeated_scan_hits(self, table):
+        catalog = Catalog()
+        catalog.save(table, "t")
+        catalog.clear_cache()
+        before = catalog.store.health.cache_hits
+        catalog.load("t")  # cold: decode, then cache
+        catalog.load("t")  # warm
+        catalog.load("t")
+        assert catalog.store.health.cache_hits - before == 2
+        assert catalog.store.health.cache_hit_rate > 0
+
+    def test_overwrite_refreshes_cache(self, table):
+        catalog = Catalog()
+        catalog.save(table, "t")
+        assert catalog.load("t") == table
+        updated = table.with_column("balance", np.zeros(50))
+        catalog.save(updated, "t")
+        assert catalog.load("t") == updated
+
+    def test_corruption_invalidates_cached_table(self, table):
+        catalog = Catalog()
+        catalog.save(table, "t")
+        catalog.load("t")
+        path = "/warehouse/default/t/__all__.npz"
+        assert path in catalog.table_cache
+        status = catalog.store.status(path)
+        catalog.store.corrupt_block(path, 0, status.blocks[0].replicas[0])
+        # The cached decode may predate the corruption; it must not mask it.
+        assert path not in catalog.table_cache
+        assert catalog.load("t") == table  # healthy replica heals the read
+
+    def test_drop_evicts_cache(self, table):
+        catalog = Catalog()
+        catalog.save(table, "t")
+        catalog.load("t")
+        catalog.drop("t")
+        assert "/warehouse/default/t/__all__.npz" not in catalog.table_cache
+
+    def test_temp_views_survive_clear_cache(self, table):
+        catalog = Catalog()
+        catalog.register_temp(table, "tv")
+        catalog.clear_cache()
+        assert catalog.load("tv") == table
