@@ -26,6 +26,7 @@ import json
 import os
 import pathlib
 import statistics
+import subprocess
 import sys
 import time
 
@@ -35,6 +36,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.config import ScaleConfig
 from repro.datagen import TelcoSimulator
+from repro.dataplat import observability
 from repro.dataplat.catalog import Catalog
 from repro.dataplat.dataset import Dataset
 from repro.dataplat.executor import ProcessPoolBackend, SerialBackend
@@ -43,6 +45,25 @@ from repro.features import WideTableBuilder
 from repro.ml.forest import RandomForestClassifier
 
 DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_micro.json"
+
+#: Bump when the BENCH_micro.json layout changes, so downstream dashboards
+#: and the CI diff job can refuse to compare incompatible files.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _git_sha() -> str:
+    """Short commit hash of the benchmarked tree (``unknown`` outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
 
 
 def _median_time(fn, repeats: int) -> float:
@@ -157,6 +178,46 @@ def bench_catalog_scan(world, repeats: int):
     }
 
 
+def bench_tracing_overhead(quick: bool, repeats: int):
+    """The same dataset workload with tracing off vs on.
+
+    ``overhead_ratio`` backs the ≤5 % disabled-path budget (DESIGN §9); the
+    traced run's span summary ships in the output so a benchmark artifact
+    doubles as a coarse profile of where the time went.
+    """
+    rng = np.random.default_rng(2)
+    n = 20_000 if quick else 100_000
+    table = Table.from_arrays(
+        k=rng.integers(0, 50, size=n), v=rng.normal(size=n)
+    )
+    backend = SerialBackend()
+
+    def collect():
+        ds = Dataset.from_table(table, num_partitions=8).map_partitions(
+            _partition_work, table.schema, op="bench_map"
+        )
+        ds.collect(backend=backend)
+
+    untraced = _median_time(collect, repeats)
+    tracer = observability.Tracer()
+
+    def traced_collect():
+        with observability.trace(tracer=tracer):
+            collect()
+
+    traced = _median_time(traced_collect, repeats)
+    summary = tracer.summary()
+    top = sorted(
+        summary.items(), key=lambda kv: kv[1]["wall_s"], reverse=True
+    )[:8]
+    return {
+        "untraced_s": untraced,
+        "traced_s": traced,
+        "overhead_ratio": traced / untraced if untraced > 0 else float("inf"),
+        "spans": dict(top),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -190,10 +251,13 @@ def main(argv=None) -> int:
         )
 
     cache = bench_catalog_scan(world, repeats)
+    tracing = bench_tracing_overhead(args.quick, repeats)
     pool.close()
 
     result = {
         "meta": {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "git_sha": _git_sha(),
             "quick": args.quick,
             "workers": pool.parallelism,
             "cpu_count": os.cpu_count(),
@@ -209,6 +273,7 @@ def main(argv=None) -> int:
             for name, times in ops.items()
         },
         "cache": cache,
+        "tracing": tracing,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(result, indent=2) + "\n")

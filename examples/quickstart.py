@@ -9,17 +9,62 @@ Runs the paper's core loop end-to-end on a small synthetic world:
 4. print the paper's four metrics and the top of the potential-churner list.
 
 Run:  python examples/quickstart.py
+
+Set ``REPRO_TRACE=trace.json`` to trace the run: raw tables are then served
+through a catalog over the block store (so storage reads are visible), the
+whole window runs under a tracer, and the span tree — blockstore reads,
+dataset tasks, SQL operators, every built feature family — is written as
+JSON.  Render it with ``python scripts/trace_report.py trace.json``.
 """
 
 from __future__ import annotations
+
+import os
+import pathlib
 
 import numpy as np
 
 from repro import ChurnPipeline, ModelConfig, ScaleConfig, TelcoSimulator
 from repro.core.window import WindowSpec
+from repro.dataplat import observability
+from repro.dataplat.catalog import Catalog
+from repro.dataplat.dataset import Dataset
+from repro.dataplat.resilience import CatalogTableSource
+
+
+def _build_pipeline(world, scale, through_catalog: bool) -> ChurnPipeline:
+    table_source = None
+    if through_catalog:
+        # Persist the raw tables and read them back through the block store,
+        # as the production system would — every read shows up in the trace.
+        catalog = Catalog()
+        world.load_catalog(catalog)
+        # Saves warm the decoded-table cache; drop it so the first feature
+        # build actually reads blocks (and the trace shows the reads).
+        catalog.clear_cache()
+        table_source = CatalogTableSource(catalog).tables_for
+    return ChurnPipeline(
+        world,
+        scale,
+        model=ModelConfig(n_trees=25, min_samples_leaf=25),
+        imbalance="weighted",
+        seed=0,
+        table_source=table_source,
+    )
+
+
+def _monthly_minutes(world, month: int) -> float:
+    """Total call minutes of one month via the partitioned dataset path."""
+    cdr = world.month(month).tables["cdr_daily"]
+    return Dataset.from_table(cdr, num_partitions=4).reduce_column(
+        "call_dur", "sum"
+    )
 
 
 def main() -> None:
+    trace_path = os.environ.get("REPRO_TRACE")
+    tracer = observability.Tracer() if trace_path else None
+
     scale = ScaleConfig(population=3000, months=9, seed=42)
     print(f"Simulating {scale.population} customers x {scale.months} months ...")
     world = TelcoSimulator(scale).run()
@@ -27,18 +72,21 @@ def main() -> None:
     rates = [f"{m.churn_rate:.1%}" for m in world.months]
     print(f"monthly churn rates: {', '.join(rates)}")
 
-    pipeline = ChurnPipeline(
-        world,
-        scale,
-        model=ModelConfig(n_trees=25, min_samples_leaf=25),
-        imbalance="weighted",
-        seed=0,
-    )
+    if tracer is not None:
+        previous = observability.set_tracer(tracer)
+    try:
+        pipeline = _build_pipeline(world, scale, through_catalog=bool(tracer))
 
-    # Figure 6 window: train on months 4-7 (labeled by months 5-8), score
-    # month 8's active customers, evaluate on who actually churns in month 9.
-    print("Training on months 4-7, predicting month-9 churners ...")
-    result = pipeline.run_window(WindowSpec((4, 5, 6, 7), 8))
+        minutes = _monthly_minutes(world, 8)
+        print(f"month-8 call volume: {minutes / 60:,.0f} hours")
+
+        # Figure 6 window: train on months 4-7 (labeled by months 5-8),
+        # score month 8's active customers, evaluate on month-9 churn.
+        print("Training on months 4-7, predicting month-9 churners ...")
+        result = pipeline.run_window(WindowSpec((4, 5, 6, 7), 8))
+    finally:
+        if tracer is not None:
+            observability.set_tracer(previous)
 
     print(f"\nAUC     = {result.auc:.3f}   (paper Table 3: 0.932)")
     print(f"PR-AUC  = {result.pr_auc:.3f}   (paper Table 3: 0.716)")
@@ -58,6 +106,15 @@ def main() -> None:
             f"  customer slot {slot:>5}  "
             f"likelihood {result.scores[row]:.3f}  "
             f"churned={bool(result.labels[row])}"
+        )
+
+    if tracer is not None:
+        out = pathlib.Path(trace_path)
+        out.write_text(tracer.to_json())
+        n_spans = sum(1 for _ in tracer.iter_spans())
+        print(
+            f"\nwrote {n_spans} spans to {out} "
+            f"(render: python scripts/trace_report.py {out})"
         )
 
 

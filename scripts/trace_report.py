@@ -1,0 +1,103 @@
+"""Render a JSON trace export as a tree plus a per-span-name summary.
+
+Works on anything :meth:`repro.dataplat.observability.Tracer.to_json`
+writes (e.g. ``REPRO_TRACE=trace.json python examples/quickstart.py``)::
+
+    python scripts/trace_report.py trace.json [--depth N] [--top K]
+
+The tree view shows nesting, wall/CPU time, tags and counters per span;
+the summary aggregates wall time by span name, which answers the stage
+budget question ("how much time went under feature.F5?") directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dataplat.observability import Span
+
+
+def _format_tags(span: Span) -> str:
+    parts = []
+    if span.tags:
+        parts.append(
+            " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+        )
+    if span.counters:
+        parts.append(
+            " ".join(f"{k}:{v:g}" for k, v in sorted(span.counters.items()))
+        )
+    if span.status != "ok":
+        parts.append(f"status={span.status}")
+    return f"  [{' | '.join(parts)}]" if parts else ""
+
+
+def render_tree(span: Span, depth: int, max_depth: int | None) -> list[str]:
+    if max_depth is not None and depth > max_depth:
+        return []
+    indent = "  " * depth
+    lines = [
+        f"{indent}{span.name}  wall={span.wall_s * 1e3:.2f}ms "
+        f"cpu={span.cpu_s * 1e3:.2f}ms{_format_tags(span)}"
+    ]
+    for child in span.children:
+        lines.extend(render_tree(child, depth + 1, max_depth))
+    return lines
+
+
+def render_summary(roots: list[Span], top: int) -> list[str]:
+    totals: dict[str, dict[str, float]] = {}
+    for root in roots:
+        for name, agg in root.summary().items():
+            bucket = totals.setdefault(
+                name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            bucket["count"] += agg["count"]
+            bucket["wall_s"] += agg["wall_s"]
+            bucket["cpu_s"] += agg["cpu_s"]
+    ranked = sorted(totals.items(), key=lambda kv: kv[1]["wall_s"], reverse=True)
+    width = max((len(name) for name, _ in ranked[:top]), default=4)
+    lines = [f"{'span':<{width}}  {'count':>6}  {'wall':>10}  {'cpu':>10}"]
+    for name, agg in ranked[:top]:
+        lines.append(
+            f"{name:<{width}}  {agg['count']:>6.0f}  "
+            f"{agg['wall_s'] * 1e3:>8.2f}ms  {agg['cpu_s'] * 1e3:>8.2f}ms"
+        )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", type=pathlib.Path, help="trace JSON file")
+    parser.add_argument(
+        "--depth", type=int, default=None, help="max tree depth to print"
+    )
+    parser.add_argument(
+        "--top", type=int, default=15, help="summary rows to print"
+    )
+    args = parser.parse_args(argv)
+
+    data = json.loads(args.trace.read_text())
+    roots = [Span.from_dict(d) for d in data.get("spans", [])]
+    if not roots:
+        print("trace contains no spans")
+        return 1
+
+    print("== trace tree ==")
+    for root in roots:
+        for line in render_tree(root, 0, args.depth):
+            print(line)
+    print()
+    print("== summary (by span name, wall-time descending) ==")
+    for line in render_summary(roots, args.top):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,8 +23,10 @@ import numpy as np
 from ..config import ModelConfig, ScaleConfig
 from ..datagen.bss import DAYS_PER_MONTH
 from ..datagen.simulator import TelcoWorld
+from ..dataplat import observability
 from ..dataplat.blockstore import BlockStore
 from ..dataplat.executor import ExecutorBackend
+from ..dataplat.observability import span
 from ..dataplat.resilience import PipelineHealthReport
 from ..errors import DataPlatformError, ExperimentError, FeatureError
 from ..features import ALL_CATEGORIES, WideTableBuilder
@@ -142,7 +144,24 @@ class ChurnPipeline:
         families that cannot be built for every month of the window are
         dropped (recorded on the health report) and the model trains on the
         surviving columns, so a degraded platform still ships a churn list.
+
+        Under an active tracer the whole window runs inside a
+        ``pipeline.window`` span, and the window's health report (when
+        present) absorbs the per-stage span timings of its own subtree.
         """
+        with span(
+            "pipeline.window",
+            test_month=spec.test_month,
+            train_months=list(spec.train_months),
+        ) as window_span:
+            result = self._execute_window(spec, categories)
+        if result.health is not None and observability.enabled():
+            result.health.absorb_trace(window_span)
+        return result
+
+    def _execute_window(
+        self, spec: WindowSpec, categories: tuple[str, ...] | None
+    ) -> WindowResult:
         categories = self.categories if categories is None else tuple(categories)
         health: PipelineHealthReport | None = None
         storage_before = None

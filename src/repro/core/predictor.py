@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ModelConfig
+from ..dataplat.observability import span
 from ..errors import ModelError, NotFittedError
 from ..ml.fm import FactorizationMachine
 from ..ml.forest import RandomForestClassifier
@@ -93,33 +94,41 @@ class ChurnPredictor:
         y = np.asarray(y, dtype=np.int64)
         self._n_features = x.shape[1]
         cfg = self.config
-        design = self._design(x, fit=True)
-        if self.classifier == "rf":
-            model = RandomForestClassifier(
-                n_trees=cfg.n_trees,
-                min_samples_leaf=cfg.min_samples_leaf,
-                max_depth=cfg.max_depth,
-                seed=self.seed,
-                backend=self._backend,
-            )
-        elif self.classifier == "gbdt":
-            model = GradientBoostedTrees(
-                n_trees=cfg.gbdt_trees,
-                learning_rate=cfg.learning_rate,
-                max_depth=4,
-                min_samples_leaf=max(cfg.min_samples_leaf, 10),
-                seed=self.seed,
-            )
-        elif self.classifier == "liblinear":
-            model = LogisticRegression(l2=1e-3, max_iter=cfg.linear_epochs * 5)
-        else:  # libfm
-            model = FactorizationMachine(
-                n_factors=cfg.fm_factors,
-                learning_rate=cfg.learning_rate,
-                n_epochs=cfg.fm_epochs,
-                seed=self.seed,
-            )
-        model.fit(design, y, sample_weight=sample_weight)
+        with span(
+            "predictor.fit",
+            classifier=self.classifier,
+            rows=int(x.shape[0]),
+            features=int(x.shape[1]),
+        ):
+            design = self._design(x, fit=True)
+            if self.classifier == "rf":
+                model = RandomForestClassifier(
+                    n_trees=cfg.n_trees,
+                    min_samples_leaf=cfg.min_samples_leaf,
+                    max_depth=cfg.max_depth,
+                    seed=self.seed,
+                    backend=self._backend,
+                )
+            elif self.classifier == "gbdt":
+                model = GradientBoostedTrees(
+                    n_trees=cfg.gbdt_trees,
+                    learning_rate=cfg.learning_rate,
+                    max_depth=4,
+                    min_samples_leaf=max(cfg.min_samples_leaf, 10),
+                    seed=self.seed,
+                )
+            elif self.classifier == "liblinear":
+                model = LogisticRegression(
+                    l2=1e-3, max_iter=cfg.linear_epochs * 5
+                )
+            else:  # libfm
+                model = FactorizationMachine(
+                    n_factors=cfg.fm_factors,
+                    learning_rate=cfg.learning_rate,
+                    n_epochs=cfg.fm_epochs,
+                    seed=self.seed,
+                )
+            model.fit(design, y, sample_weight=sample_weight)
         self._model = model
         return self
 
@@ -132,7 +141,10 @@ class ChurnPredictor:
             raise ModelError(
                 f"x has {x.shape[1]} features, fitted with {self._n_features}"
             )
-        return self._model.predict_proba(self._design(x, fit=False))
+        with span(
+            "predictor.predict", classifier=self.classifier, rows=int(x.shape[0])
+        ):
+            return self._model.predict_proba(self._design(x, fit=False))
 
     def rank(self, x: np.ndarray) -> np.ndarray:
         """Row indices by descending churn likelihood."""

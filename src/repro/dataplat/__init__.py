@@ -18,11 +18,22 @@ Hive / Spark SQL.  This package is a faithful single-process analogue:
 * :mod:`repro.dataplat.resilience` — the fault-tolerant execution runtime:
   seeded chaos injection, retry with deterministic backoff, task retry for
   datasets, and the pipeline health report degraded runs emit.
+* :mod:`repro.dataplat.observability` — tracing spans, the process-wide
+  metrics registry, and the ``span``/``profiled`` profiling hooks threaded
+  through every hot path above.
 """
 
 from .blockstore import BlockStore, FileStatus, StorageHealth
 from .catalog import Catalog
 from .dataset import Dataset
+from .observability import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    profiled,
+    span,
+    trace,
+)
 from .resilience import (
     CatalogTableSource,
     FaultInjector,
@@ -46,6 +57,7 @@ __all__ = [
     "FaultInjector",
     "FaultPolicy",
     "FileStatus",
+    "MetricsRegistry",
     "PipelineHealthReport",
     "RetryPolicy",
     "Schema",
@@ -54,4 +66,9 @@ __all__ = [
     "StorageHealth",
     "Table",
     "TaskRuntime",
+    "Tracer",
+    "get_metrics",
+    "profiled",
+    "span",
+    "trace",
 ]

@@ -16,6 +16,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..errors import StorageError, TransientError
+from .observability import current_span, get_metrics, span
 from .resilience import FaultInjector, RetryPolicy, SimClock
 
 #: Default block size.  Real HDFS uses 128 MB; our synthetic tables are small
@@ -102,9 +103,13 @@ class TableCache:
         entry = self._entries.get(key)
         if entry is None:
             self.health.cache_misses += 1
+            get_metrics().counter("table_cache.misses").inc()
+            current_span().incr("cache_misses")
             return None
         self._entries.move_to_end(key)
         self.health.cache_hits += 1
+        get_metrics().counter("table_cache.hits").inc()
+        current_span().incr("cache_hits")
         return entry[0]
 
     def peek(self, key: str):
@@ -125,6 +130,7 @@ class TableCache:
             _, (_, evicted) = self._entries.popitem(last=False)
             self._bytes -= evicted
             self.health.cache_evictions += 1
+            get_metrics().counter("table_cache.evictions").inc()
 
     def invalidate(self, key: str) -> None:
         """Drop one entry (no-op if absent)."""
@@ -241,23 +247,27 @@ class BlockStore:
     def write(self, path: str, payload: bytes, overwrite: bool = True) -> FileStatus:
         """Write ``payload`` at ``path``, splitting into replicated blocks."""
         _validate_path(path)
-        if path in self._files:
-            if not overwrite:
-                raise StorageError(f"file exists: {path}")
-            self.delete(path)
-        blocks = []
-        for offset in range(0, max(len(payload), 1), self._block_size):
-            chunk = payload[offset : offset + self._block_size]
-            blocks.append(self._store_block(chunk))
-        status = FileStatus(
-            path=path,
-            length=len(payload),
-            block_size=self._block_size,
-            replication=self._replication,
-            blocks=tuple(blocks),
-        )
-        self._files[path] = status
-        self._notify_invalidation(path)
+        with span("blockstore.write", path=path) as sp:
+            if path in self._files:
+                if not overwrite:
+                    raise StorageError(f"file exists: {path}")
+                self.delete(path)
+            blocks = []
+            for offset in range(0, max(len(payload), 1), self._block_size):
+                chunk = payload[offset : offset + self._block_size]
+                blocks.append(self._store_block(chunk))
+            status = FileStatus(
+                path=path,
+                length=len(payload),
+                block_size=self._block_size,
+                replication=self._replication,
+                blocks=tuple(blocks),
+            )
+            self._files[path] = status
+            self._notify_invalidation(path)
+            sp.incr("bytes", len(payload))
+            sp.incr("blocks", len(blocks))
+            get_metrics().counter("blockstore.bytes_written").inc(len(payload))
         return status
 
     def read(self, path: str) -> bytes:
@@ -277,15 +287,19 @@ class BlockStore:
 
         def on_retry(retry_index: int, pause: float, exc: BaseException) -> None:
             self.health.read_retries += 1
+            sp.incr("retries")
 
-        if self._retry is None:
-            payload = attempt()
-        else:
-            payload = self._retry.call(
-                attempt, clock=self._clock, on_retry=on_retry
-            )
-        if self._auto_repair and self._under_replicated(status):
-            self._heal_file(path)
+        with span("blockstore.read", path=path) as sp:
+            if self._retry is None:
+                payload = attempt()
+            else:
+                payload = self._retry.call(
+                    attempt, clock=self._clock, on_retry=on_retry
+                )
+            if self._auto_repair and self._under_replicated(status):
+                self._heal_file(path)
+            sp.incr("bytes", len(payload))
+            get_metrics().counter("blockstore.bytes_read").inc(len(payload))
         return payload
 
     def _under_replicated(self, status: FileStatus) -> bool:
@@ -417,9 +431,12 @@ class BlockStore:
 
     def _heal_file(self, path: str) -> int:
         """Read-path trigger: re-replicate one file, best effort."""
-        created, lost = self._restore_file(path)
-        if created and not lost:
-            self.health.files_healed += 1
+        with span("blockstore.repair", path=path) as sp:
+            created, lost = self._restore_file(path)
+            if created and not lost:
+                self.health.files_healed += 1
+            sp.incr("replicas_created", created)
+            get_metrics().counter("blockstore.replicas_recreated").inc(created)
         return created
 
     # ------------------------------------------------------------------
@@ -486,6 +503,7 @@ class BlockStore:
             for node in corrupt_on:
                 node.blocks[block.block_id] = good
                 self.health.replicas_repaired += 1
+                get_metrics().counter("blockstore.replicas_repaired").inc()
         return good
 
     def corrupt_block(self, path: str, block_index: int, node_id: int) -> None:

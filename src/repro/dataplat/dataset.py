@@ -28,7 +28,9 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..errors import ExecutionError
+from . import observability
 from .executor import ExecutorBackend, resolve_backend
+from .observability import span
 from .resilience import FaultInjector, SimClock, TaskRuntime
 from .schema import Schema
 from .table import Table
@@ -327,8 +329,16 @@ class Dataset:
         """
         resolved = resolve_backend(backend)
         if resolved.parallelism <= 1:
-            for i in range(self.num_partitions):
-                self._partition(i)
+            pending = [i for i, c in enumerate(self._cache) if c is None]
+            if pending:
+                with span(
+                    "dataset.stage",
+                    op=self._op,
+                    backend=resolved.name,
+                    tasks=len(pending),
+                ):
+                    for i in pending:
+                        self._partition(i)
             return self
         self._materialize_stages(resolved)
         return self
@@ -347,12 +357,21 @@ class Dataset:
         if self._runtime is not None:
             rt = self._runtime
             spec = (rt.retry_policy, rt.injector.policy, rt.injector.seed)
-        tasks = [(spec, self._op, i, self._thunks[i]) for i in pending]
-        results = backend.map(_run_partition_task, tasks)
-        for i, (table, counters) in zip(pending, results):
-            self._cache[i] = table
-            if counters is not None and self._runtime is not None:
-                self._runtime.absorb_counters(counters)
+        traced = observability.enabled()
+        tasks = [(spec, self._op, i, self._thunks[i], traced) for i in pending]
+        with span(
+            "dataset.stage", op=self._op, backend=backend.name, tasks=len(pending)
+        ):
+            results = backend.map(_run_partition_task, tasks)
+            tracer = observability.get_tracer()
+            for i, (table, counters, span_dicts) in zip(pending, results):
+                self._cache[i] = table
+                if counters is not None and self._runtime is not None:
+                    self._runtime.absorb_counters(counters)
+                if span_dicts and tracer is not None:
+                    # Worker subtrees graft under this stage span, like the
+                    # fault counters folding into the parent runtime.
+                    tracer.attach(span_dicts)
 
     def _stage_parents(self) -> list["Dataset"]:
         """Nearest wide ancestors (plus wide self's parents) to pre-build."""
@@ -380,10 +399,16 @@ class Dataset:
     def _partition(self, i: int) -> Table:
         cached = self._cache[i]
         if cached is None:
-            if self._runtime is None:
-                cached = self._thunks[i]()
-            else:
-                cached = self._runtime.run_task(self._op, i, self._thunks[i])
+            with span("dataset.task", op=self._op, partition=i) as sp:
+                if self._runtime is None:
+                    cached = self._thunks[i]()
+                else:
+                    cached = self._runtime.run_task(self._op, i, self._thunks[i])
+                    sp.set_tag(
+                        "attempts",
+                        self._runtime.task_attempts.get((self._op, i), 1),
+                    )
+                sp.incr("rows", cached.num_rows)
             self._cache[i] = cached
         return cached
 
@@ -537,20 +562,42 @@ def _run_partition_task(args):
     Runs one partition thunk, optionally under a *fresh* task runtime built
     from ``spec`` — fresh so the worker never mutates shared parent state,
     which makes the in-process pickling fallback and the cross-process path
-    behave identically.  Returns ``(table, counters)`` where counters is the
-    worker runtime's accounting to fold back into the parent runtime.
+    behave identically.  Returns ``(table, counters, spans)`` where counters
+    is the worker runtime's accounting and spans the worker tracer's export,
+    both folded back into the parent by the caller.
+
+    When the submitting process had tracing on, the task runs under a fresh
+    local :class:`~repro.dataplat.observability.Tracer` (installed for the
+    duration, previous tracer restored) so the same code path produces the
+    same span tree in a pool worker and on the in-process fallback.
     """
-    spec, op, index, thunk = args
-    if spec is None:
-        return thunk(), None
-    retry_policy, fault_policy, fault_seed = spec
-    runtime = TaskRuntime(
-        retry_policy=retry_policy,
-        injector=FaultInjector(fault_policy, seed=fault_seed),
-        clock=SimClock(),
-    )
-    result = runtime.run_task_keyed(op, index, thunk)
-    return result, runtime.snapshot()
+    spec, op, index, thunk, traced = args
+    worker_tracer = observability.Tracer() if traced else None
+    previous = observability.set_tracer(worker_tracer) if traced else None
+    try:
+        with observability.span("dataset.task", op=op, partition=index) as sp:
+            if spec is None:
+                result, counters = thunk(), None
+            else:
+                retry_policy, fault_policy, fault_seed = spec
+                runtime = TaskRuntime(
+                    retry_policy=retry_policy,
+                    injector=FaultInjector(fault_policy, seed=fault_seed),
+                    clock=SimClock(),
+                )
+                result = runtime.run_task_keyed(op, index, thunk)
+                counters = runtime.snapshot()
+                sp.set_tag(
+                    "attempts", runtime.task_attempts.get((op, index), 1)
+                )
+                if runtime.task_retries:
+                    sp.set_tag("retries", runtime.task_retries)
+            sp.incr("rows", result.num_rows)
+    finally:
+        if traced:
+            observability.set_tracer(previous)
+    spans = worker_tracer.export() if worker_tracer is not None else None
+    return result, counters, spans
 
 
 def _check_schema(table: Table, schema: Schema, op: str) -> Table:

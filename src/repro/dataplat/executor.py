@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from ..config import ExecutorConfig
 from ..errors import ExecutionError
+from .observability import get_metrics, span
 
 __all__ = [
     "ExecutorBackend",
@@ -72,7 +73,8 @@ class SerialBackend(ExecutorBackend):
     name = "serial"
 
     def map(self, fn: Callable, items: Sequence) -> list:
-        return [fn(item) for item in items]
+        with span("executor.map", backend=self.name, tasks=len(items)):
+            return [fn(item) for item in items]
 
     def __repr__(self) -> str:
         return "SerialBackend()"
@@ -113,14 +115,23 @@ class ProcessPoolBackend(ExecutorBackend):
         items = list(items)
         if not items:
             return []
-        if self._max_workers == 1 or not self._picklable(fn, items):
-            if self._max_workers != 1:
-                self.fallbacks += 1
-            return [fn(item) for item in items]
-        pool = self._ensure_pool()
-        chunksize = max(1, len(items) // (self._max_workers * 4))
-        self.tasks_dispatched += len(items)
-        return list(pool.map(fn, items, chunksize=chunksize))
+        with span(
+            "executor.map",
+            backend=self.name,
+            tasks=len(items),
+            workers=self._max_workers,
+        ) as sp:
+            if self._max_workers == 1 or not self._picklable(fn, items):
+                if self._max_workers != 1:
+                    self.fallbacks += 1
+                    sp.set_tag("fallback", True)
+                    get_metrics().counter("executor.fallbacks").inc()
+                return [fn(item) for item in items]
+            pool = self._ensure_pool()
+            chunksize = max(1, len(items) // (self._max_workers * 4))
+            self.tasks_dispatched += len(items)
+            get_metrics().counter("executor.tasks_dispatched").inc(len(items))
+            return list(pool.map(fn, items, chunksize=chunksize))
 
     def close(self) -> None:
         if self._pool is not None:

@@ -380,6 +380,10 @@ class PipelineHealthReport:
     cache_hits: int = 0
     cache_misses: int = 0
     events: list[ResilienceEvent] = field(default_factory=list)
+    #: Aggregated span timings (``{span name: {count, wall_s, cpu_s}}``)
+    #: absorbed from the active tracer, so a health report answers not just
+    #: "what degraded" but "where the time went" (see :meth:`absorb_trace`).
+    span_timings: dict[str, dict] = field(default_factory=dict)
 
     def record(self, kind: str, subject: str, detail: str = "") -> None:
         self.events.append(ResilienceEvent(kind, subject, detail))
@@ -413,6 +417,20 @@ class PipelineHealthReport:
         self.task_retries += runtime.task_retries
         self.faults_injected += runtime.injector.total_injected
 
+    def absorb_trace(self, tracer) -> None:
+        """Fold a tracer's per-span-name aggregate timings into the report.
+
+        ``tracer`` is a :class:`~repro.dataplat.observability.Tracer` (or
+        anything with its ``summary()`` shape); repeated absorption sums.
+        """
+        for name, agg in tracer.summary().items():
+            slot = self.span_timings.setdefault(
+                name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            )
+            slot["count"] += agg["count"]
+            slot["wall_s"] += agg["wall_s"]
+            slot["cpu_s"] += agg["cpu_s"]
+
     def render(self) -> str:
         lines = [
             f"Pipeline health: {self.status}",
@@ -436,6 +454,18 @@ class PipelineHealthReport:
                 f"  table cache: {self.cache_hits}/{reads} hits "
                 f"({self.cache_hits / reads:.0%})"
             )
+        if self.span_timings:
+            top = sorted(
+                self.span_timings.items(),
+                key=lambda kv: kv[1]["wall_s"],
+                reverse=True,
+            )[:5]
+            lines.append("  slowest stages:")
+            for name, agg in top:
+                lines.append(
+                    f"    {name}: {agg['wall_s']:.3f}s wall over "
+                    f"{agg['count']} span(s)"
+                )
         return "\n".join(lines)
 
 

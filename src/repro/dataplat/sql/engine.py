@@ -8,6 +8,7 @@ can register in-memory tables (like Spark's ``createOrReplaceTempView``).
 from __future__ import annotations
 
 from ..catalog import Catalog
+from ..observability import span
 from ..table import Table
 from .executor import Executor
 from .parser import parse
@@ -43,9 +44,12 @@ class SQLEngine:
 
     def plan(self, sql: str, optimized: bool = True) -> PlanNode:
         """Parse and plan a query without executing it."""
-        plan = build_plan(parse(sql))
-        if optimized:
-            plan = optimize(plan)
+        with span("sql.parse"):
+            stmt = parse(sql)
+        with span("sql.plan", optimized=optimized):
+            plan = build_plan(stmt)
+            if optimized:
+                plan = optimize(plan)
         return plan
 
     def explain(self, sql: str) -> str:
@@ -54,8 +58,13 @@ class SQLEngine:
 
     def query(self, sql: str) -> Table:
         """Execute a SELECT statement and return the result table."""
-        executor = Executor(self._catalog, self._database)
-        return executor.execute(self.plan(sql))
+        with span("sql.query", sql=sql.strip()[:80]) as sp:
+            plan = self.plan(sql)
+            executor = Executor(self._catalog, self._database)
+            with span("sql.execute"):
+                out = executor.execute(plan)
+            sp.incr("rows", out.num_rows)
+        return out
 
     def create_table_as(self, name: str, sql: str, partition: str | None = None) -> Table:
         """CTAS: run ``sql`` and save the result under ``name``.

@@ -15,6 +15,7 @@ import re
 import numpy as np
 
 from ...errors import SQLAnalysisError, ExecutionError
+from .. import observability
 from ..catalog import Catalog
 from ..schema import Column, ColumnType, Schema
 from ..table import Table
@@ -63,6 +64,22 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _run(self, node: PlanNode) -> Table:
+        """Execute one operator, tracing a span per plan node.
+
+        Children are executed by the operator handlers (inside the parent's
+        span), so the trace tree mirrors the plan tree, each span carrying
+        the operator's output row count.
+        """
+        if not observability.enabled():
+            return self._dispatch(node)
+        with observability.span(f"sql.{type(node).__name__.lower()}") as sp:
+            if isinstance(node, Scan):
+                sp.set_tag("table", node.table)
+            out = self._dispatch(node)
+            sp.incr("rows", out.num_rows)
+            return out
+
+    def _dispatch(self, node: PlanNode) -> Table:
         if isinstance(node, Scan):
             return self._scan(node)
         if isinstance(node, Filter):

@@ -19,7 +19,9 @@ from collections.abc import Callable, Sequence
 import numpy as np
 
 from ..datagen.simulator import TelcoWorld
+from ..dataplat import observability
 from ..dataplat.executor import ExecutorBackend, resolve_backend
+from ..dataplat.observability import span
 from ..dataplat.resilience import PipelineHealthReport
 from ..dataplat.sql import SQLEngine
 from ..errors import DataPlatformError, FeatureError
@@ -131,28 +133,31 @@ class WideTableBuilder:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        self._register_month(month)
-        if category == "F1":
-            block = build_f1(self._engine, month)
-        elif category == "F2":
-            block = build_f2(self._engine, month)
-        elif category == "F3":
-            block = build_f3(self._engine, month)
-        elif category in ("F4", "F5", "F6"):
-            block = self._graphs.build(category, month)
-        elif category in ("F7", "F8"):
-            extractor = self._topics.get(category)
-            if extractor is None:
-                raise FeatureError(
-                    f"{category} requires fit_extractors() on training months"
-                )
-            block = extractor.transform(self._world, month)
-        else:  # F9
-            if self._second_order is None:
-                raise FeatureError(
-                    "F9 requires fit_extractors() on training months"
-                )
-            block = self._second_order.transform(self.category("F1", month))
+        with span(f"feature.{category}", month=month) as sp:
+            self._register_month(month)
+            if category == "F1":
+                block = build_f1(self._engine, month)
+            elif category == "F2":
+                block = build_f2(self._engine, month)
+            elif category == "F3":
+                block = build_f3(self._engine, month)
+            elif category in ("F4", "F5", "F6"):
+                block = self._graphs.build(category, month)
+            elif category in ("F7", "F8"):
+                extractor = self._topics.get(category)
+                if extractor is None:
+                    raise FeatureError(
+                        f"{category} requires fit_extractors() on training months"
+                    )
+                block = extractor.transform(self._world, month)
+            else:  # F9
+                if self._second_order is None:
+                    raise FeatureError(
+                        "F9 requires fit_extractors() on training months"
+                    )
+                block = self._second_order.transform(self.category("F1", month))
+            sp.incr("rows", len(block.imsi))
+            sp.incr("columns", len(block.names))
         self._cache[key] = block
         return block
 
@@ -226,9 +231,16 @@ class WideTableBuilder:
         for month, _ in pending:
             self._register_month(month)
         resolved = resolve_backend(backend)
-        tasks = [(self, month, missing) for month, missing in pending]
-        for blocks in resolved.map(_build_month_blocks, tasks):
-            self._cache.update(blocks)
+        traced = observability.enabled()
+        tasks = [(self, month, missing, traced) for month, missing in pending]
+        with span(
+            "widetable.prefetch", months=len(pending), backend=resolved.name
+        ):
+            tracer = observability.get_tracer()
+            for blocks, spans in resolved.map(_build_month_blocks, tasks):
+                self._cache.update(blocks)
+                if spans and tracer is not None:
+                    tracer.attach(spans)
         return self
 
     # ------------------------------------------------------------------
@@ -296,7 +308,17 @@ def _build_month_blocks(args):
 
     Top-level for picklability.  The worker's builder is a deep copy, so
     mutating its caches is invisible; only the requested blocks travel back,
-    keyed for a plain ``dict.update`` into the parent's cache.
+    keyed for a plain ``dict.update`` into the parent's cache — plus the
+    worker tracer's exported spans when the submitter had tracing on, so
+    per-family spans survive the process boundary.
     """
-    builder, month, categories = args
-    return {(c, month): builder.category(c, month) for c in categories}
+    builder, month, categories, traced = args
+    worker_tracer = observability.Tracer() if traced else None
+    previous = observability.set_tracer(worker_tracer) if traced else None
+    try:
+        blocks = {(c, month): builder.category(c, month) for c in categories}
+    finally:
+        if traced:
+            observability.set_tracer(previous)
+    spans = worker_tracer.export() if worker_tracer is not None else None
+    return blocks, spans

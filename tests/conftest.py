@@ -12,6 +12,7 @@ import pytest
 
 from repro.config import ModelConfig, ScaleConfig
 from repro.datagen import TelcoSimulator
+from repro.dataplat import observability
 from repro.features import WideTableBuilder
 
 
@@ -53,3 +54,61 @@ def small_builder(small_world) -> WideTableBuilder:
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(0)
+
+
+class SpanCapture:
+    """Assertion helpers over one test's trace and metrics.
+
+    Wraps the tracer/registry installed by the ``capture_spans`` fixture;
+    tests assert on span structure via :meth:`assert_span` and on metric
+    counters via :meth:`counter` without touching process-wide state.
+    """
+
+    def __init__(
+        self, tracer: observability.Tracer, metrics: observability.MetricsRegistry
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+
+    @property
+    def roots(self):
+        return self.tracer.roots
+
+    def names(self) -> list[str]:
+        """Every span name in document order (repeats included)."""
+        return [s.name for s in self.tracer.iter_spans()]
+
+    def find(self, name: str):
+        return self.tracer.find(name)
+
+    def assert_span(self, name: str, **tags) -> observability.Span:
+        """The first span named ``name`` whose tags include ``tags``."""
+        candidates = self.find(name)
+        for span in candidates:
+            if all(span.tags.get(k) == v for k, v in tags.items()):
+                return span
+        raise AssertionError(
+            f"no span {name!r} with tags {tags}; "
+            f"have {[(s.name, s.tags) for s in candidates] or self.names()}"
+        )
+
+    def counter(self, name: str) -> float:
+        """Current value of a metrics-registry counter (0 if never touched)."""
+        return self.metrics.counter(name).value
+
+
+@pytest.fixture()
+def capture_spans():
+    """Install a fresh tracer + metrics registry; restore on teardown.
+
+    Yields a :class:`SpanCapture`, so tests can exercise traced code paths
+    and assert on the resulting span tree and counters in isolation.
+    """
+    tracer = observability.Tracer()
+    previous_tracer = observability.set_tracer(tracer)
+    previous_metrics = observability.set_metrics(observability.MetricsRegistry())
+    try:
+        yield SpanCapture(tracer, observability.get_metrics())
+    finally:
+        observability.set_tracer(previous_tracer)
+        observability.set_metrics(previous_metrics)

@@ -1,0 +1,308 @@
+"""Observability layer: spans, tracer, metrics, and platform integration.
+
+Structure assertions go through the ``capture_spans`` fixture; the
+integration classes drive real platform components (catalog, dataset,
+SQL engine) and assert the spans/counters they are instrumented with.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataplat import observability
+from repro.dataplat.blockstore import BlockStore
+from repro.dataplat.catalog import Catalog
+from repro.dataplat.dataset import Dataset
+from repro.dataplat.executor import ProcessPoolBackend, SerialBackend
+from repro.dataplat.observability import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_span,
+    profiled,
+    span,
+    trace,
+)
+from repro.dataplat.sql import SQLEngine
+from repro.dataplat.table import Table
+from repro.errors import DataPlatformError
+
+
+def _double_dur(table: Table) -> Table:
+    """Module-level so ProcessPool workers can pickle it."""
+    return table.with_column("dur", table.column("dur") * 2.0)
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_arrays(imsi=np.arange(12), dur=np.linspace(0, 11, 12))
+
+
+class TestSpanBasics:
+    def test_nesting(self, capture_spans):
+        with span("outer", month=3):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        (outer,) = capture_spans.roots
+        assert outer.name == "outer"
+        assert outer.tags == {"month": 3}
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert capture_spans.names() == ["outer", "inner", "inner"]
+
+    def test_timings_populated(self, capture_spans):
+        with span("timed"):
+            sum(range(1000))
+        timed = capture_spans.assert_span("timed")
+        assert timed.wall_s >= 0.0
+        assert timed.cpu_s >= 0.0
+
+    def test_counters_and_tags(self, capture_spans):
+        with span("work") as sp:
+            sp.incr("rows", 5)
+            sp.incr("rows", 2)
+            sp.set_tag("backend", "serial")
+        work = capture_spans.assert_span("work", backend="serial")
+        assert work.counters == {"rows": 7}
+
+    def test_error_status(self, capture_spans):
+        with pytest.raises(ValueError):
+            with span("doomed"):
+                raise ValueError("boom")
+        assert capture_spans.assert_span("doomed").status == "error:ValueError"
+
+    def test_current_span(self, capture_spans):
+        assert current_span() is NULL_SPAN
+        with span("ctx") as sp:
+            assert current_span() is sp
+        assert current_span() is NULL_SPAN
+
+    def test_export_roundtrip(self, capture_spans):
+        with span("root", k="v") as sp:
+            sp.incr("n", 3)
+            with span("child"):
+                pass
+        exported = capture_spans.tracer.export()
+        rebuilt = Span.from_dict(exported[0])
+        assert rebuilt.name == "root"
+        assert rebuilt.tags == {"k": "v"}
+        assert rebuilt.counters == {"n": 3}
+        assert [c.name for c in rebuilt.children] == ["child"]
+
+    def test_summary_aggregates_by_name(self, capture_spans):
+        for _ in range(3):
+            with span("stage"):
+                pass
+        summary = capture_spans.tracer.summary()
+        assert summary["stage"]["count"] == 3
+
+    def test_attach_grafts_worker_spans(self, capture_spans):
+        worker = Tracer()
+        with worker.span("dataset.task", partition=0):
+            pass
+        with span("dataset.stage"):
+            capture_spans.tracer.attach(worker.export())
+        stage = capture_spans.assert_span("dataset.stage")
+        assert [c.name for c in stage.children] == ["dataset.task"]
+        assert stage.children[0].tags == {"partition": 0}
+
+
+class TestHooks:
+    def test_span_is_noop_when_disabled(self):
+        assert not observability.enabled()
+        ctx = span("ignored")
+        assert ctx is observability._NULL_CONTEXT
+        with ctx as sp:
+            assert sp is NULL_SPAN
+            sp.incr("x")
+            sp.set_tag("k", "v")
+        assert NULL_SPAN.counters == {}
+        assert NULL_SPAN.tags == {}
+
+    def test_profiled_decorator(self, capture_spans):
+        @profiled(kind="helper")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3
+        sp = capture_spans.assert_span(
+            f"{self.test_profiled_decorator.__qualname__}.<locals>.add"
+        )
+        assert sp.tags == {"kind": "helper"}
+
+    def test_profiled_explicit_name(self, capture_spans):
+        @profiled("custom.name")
+        def fn():
+            return 1
+
+        fn()
+        capture_spans.assert_span("custom.name")
+
+    def test_profiled_without_tracer(self):
+        @profiled("quiet")
+        def fn():
+            return 41
+
+        assert fn() == 41  # no tracer installed: plain call
+
+    def test_trace_contextmanager_restores(self):
+        assert observability.get_tracer() is None
+        with trace("run") as tracer:
+            assert observability.get_tracer() is tracer
+            with span("step"):
+                pass
+        assert observability.get_tracer() is None
+        assert [s["name"] for s in tracer.export()] == ["run"]
+        assert tracer.find("step")
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc(4)
+        assert registry.counter("x").value == 5
+        with pytest.raises(DataPlatformError):
+            registry.counter("x").inc(-1)
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_histogram_buckets(self):
+        h = Histogram("lat", boundaries=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1.0, <=10.0, overflow
+        assert h.total == 4
+        assert sum(h.counts) == h.total
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(106.5 / 4)
+
+    def test_histogram_bad_boundaries(self):
+        with pytest.raises(DataPlatformError):
+            Histogram("bad", boundaries=())
+        with pytest.raises(DataPlatformError):
+            Histogram("bad", boundaries=(1.0, 1.0))
+
+    def test_histogram_merge_requires_same_boundaries(self):
+        a = Histogram("a", boundaries=(1.0,))
+        b = Histogram("b", boundaries=(2.0,))
+        with pytest.raises(DataPlatformError):
+            a.merge(b)
+
+    def test_registry_reregister_boundary_mismatch(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", boundaries=(1.0, 2.0))
+        registry.histogram("h", boundaries=(1.0, 2.0))  # same: fine
+        with pytest.raises(DataPlatformError):
+            registry.histogram("h", boundaries=(3.0,))
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", boundaries=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["total"] == 1
+        assert snap["histograms"]["h"]["min"] == 0.5
+
+    def test_default_buckets_usable(self):
+        h = Histogram("t", DEFAULT_BUCKETS)
+        h.observe(0.02)
+        assert sum(h.counts) == 1
+
+
+class TestCacheCounters:
+    def test_catalog_hit_and_miss(self, capture_spans):
+        catalog = Catalog(BlockStore())
+        catalog.save(
+            Table.from_arrays(x=np.arange(8), y=np.arange(8) * 0.5), "tbl"
+        )
+        catalog.table_cache.clear()
+        with span("first_read"):
+            catalog.load("tbl")
+        with span("second_read"):
+            catalog.load("tbl")
+        assert capture_spans.counter("table_cache.misses") == 1
+        assert capture_spans.counter("table_cache.hits") == 1
+        assert capture_spans.assert_span("first_read").counters.get(
+            "cache_misses"
+        ) == 1
+        assert capture_spans.assert_span("second_read").counters.get(
+            "cache_hits"
+        ) == 1
+        # The miss went to disk under a blockstore.read span.
+        read = capture_spans.assert_span("blockstore.read")
+        assert read.counters["bytes"] > 0
+        assert capture_spans.counter("blockstore.bytes_read") > 0
+
+
+class TestDatasetSpans:
+    def test_serial_task_spans(self, capture_spans, table):
+        ds = Dataset.from_table(table, num_partitions=3).map_partitions(
+            _double_dur, table.schema, op="double"
+        )
+        ds.collect(SerialBackend())
+        stage = capture_spans.assert_span("dataset.stage", op="double")
+        tasks = capture_spans.find("dataset.task")
+        doubles = [t for t in tasks if t.tags.get("op") == "double"]
+        assert {t.tags["partition"] for t in doubles} == {0, 1, 2}
+        assert all(t.counters.get("rows", 0) > 0 for t in doubles)
+        assert stage.tags["tasks"] == 3
+
+    def test_process_pool_tags_propagate(self, capture_spans, table):
+        """Worker spans come back tagged even across process boundaries."""
+        backend = ProcessPoolBackend(max_workers=2)
+        ds = Dataset.from_table(table, num_partitions=3).map_partitions(
+            _double_dur, table.schema, op="double"
+        )
+        out = ds.collect(backend)
+        assert out.num_rows == table.num_rows
+        capture_spans.assert_span("executor.map", backend=backend.name)
+        doubles = [
+            t
+            for t in capture_spans.find("dataset.task")
+            if t.tags.get("op") == "double"
+        ]
+        assert {t.tags["partition"] for t in doubles} == {0, 1, 2}
+        assert sum(t.counters.get("rows", 0) for t in doubles) == table.num_rows
+
+    def test_untraced_run_leaves_no_spans(self, table):
+        ds = Dataset.from_table(table, num_partitions=2).map_partitions(
+            _double_dur, table.schema, op="double"
+        )
+        out = ds.collect(SerialBackend())
+        assert out.num_rows == table.num_rows
+        assert observability.get_tracer() is None
+
+
+class TestSQLSpans:
+    def test_query_span_tree(self, capture_spans):
+        engine = SQLEngine()
+        engine.register(
+            Table.from_arrays(x=np.arange(10), g=np.arange(10) % 3), "t"
+        )
+        out = engine.query("SELECT g, COUNT(*) AS n FROM t GROUP BY g")
+        assert out.num_rows == 3
+        query = capture_spans.assert_span("sql.query")
+        assert query.counters["rows"] == 3
+        child_names = [c.name for c in query.children]
+        assert child_names == ["sql.parse", "sql.plan", "sql.execute"]
+        # Operator spans nest under execute, mirroring the plan tree.
+        execute = query.children[-1]
+        ops = [s.name for s in execute.walk()]
+        assert "sql.aggregate" in ops
+        assert "sql.scan" in ops
+        scan = capture_spans.assert_span("sql.scan")
+        assert scan.tags["table"] == "t"
+        assert scan.counters["rows"] == 10

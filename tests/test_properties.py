@@ -8,6 +8,7 @@ from hypothesis.extra import numpy as hnp
 from repro.dataplat.catalog import Catalog
 from repro.dataplat.dataset import Dataset
 from repro.dataplat.etl import ETLJob, QUARANTINE_SUFFIX
+from repro.dataplat.observability import Histogram
 from repro.dataplat.resilience import (
     FAULT_KINDS,
     FaultInjector,
@@ -405,3 +406,84 @@ class TestLabelingProperties:
         labels = labels_from_delays(delays)
         for d, label in zip(delays.tolist(), labels.tolist()):
             assert label == (d < 0 or d > 15)
+
+
+class TestHistogramProperties:
+    """Merge algebra of fixed-boundary histograms (observability layer)."""
+
+    @staticmethod
+    def _fill(name, values, boundaries):
+        h = Histogram(name, boundaries)
+        for v in values:
+            h.observe(v)
+        return h
+
+    boundary_lists = st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    ).map(sorted)
+    samples = st.lists(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), max_size=50
+    )
+
+    @given(boundary_lists, samples)
+    @settings(max_examples=100, deadline=None)
+    def test_bucket_count_conservation(self, boundaries, values):
+        h = self._fill("h", values, boundaries)
+        assert sum(h.counts) == h.total == len(values)
+
+    @given(boundary_lists, samples, samples, samples)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_associativity(self, boundaries, va, vb, vc):
+        a = self._fill("a", va, boundaries)
+        b = self._fill("b", vb, boundaries)
+        c = self._fill("c", vc, boundaries)
+        left = a.merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.counts == right.counts
+        assert left.total == right.total
+        assert left.sum == pytest.approx(right.sum)
+        assert left.min == right.min
+        assert left.max == right.max
+
+    @given(boundary_lists, samples, samples)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_conserves_counts_and_matches_union(self, boundaries, va, vb):
+        merged = self._fill("a", va, boundaries).merge(
+            self._fill("b", vb, boundaries)
+        )
+        union = self._fill("u", va + vb, boundaries)
+        assert merged.counts == union.counts
+        assert merged.total == union.total == len(va) + len(vb)
+        assert sum(merged.counts) == merged.total
+
+    @given(boundary_lists, samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_identity(self, boundaries, values):
+        h = self._fill("h", values, boundaries)
+        empty = Histogram("e", boundaries)
+        merged = h.merge(empty)
+        assert merged.counts == h.counts
+        assert merged.total == h.total
+        assert merged.sum == h.sum
+
+    @given(boundary_lists, samples, samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, boundaries, va, vb):
+        a = self._fill("a", va, boundaries)
+        b = self._fill("b", vb, boundaries)
+        ab = a.merge(b)
+        ba = b.merge(a)
+        assert ab.counts == ba.counts
+        assert ab.sum == pytest.approx(ba.sum)
+
+    @given(boundary_lists, samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_leaves_operands_untouched(self, boundaries, values):
+        a = self._fill("a", values, boundaries)
+        b = self._fill("b", values, boundaries)
+        before = (list(a.counts), a.total, a.sum)
+        a.merge(b)
+        assert (list(a.counts), a.total, a.sum) == before
