@@ -41,6 +41,7 @@ from repro.dataplat.catalog import Catalog
 from repro.dataplat.dataset import Dataset
 from repro.dataplat.executor import ProcessPoolBackend, SerialBackend
 from repro.dataplat.table import Table
+from repro.dataplat.telemetry import TelemetrySink
 from repro.features import WideTableBuilder
 from repro.ml.forest import RandomForestClassifier
 
@@ -48,7 +49,10 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_micro.json"
 
 #: Bump when the BENCH_micro.json layout changes, so downstream dashboards
 #: and the CI diff job can refuse to compare incompatible files.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
+
+#: Telemetry sinking must stay below this fraction of window wall time.
+SINK_BUDGET = 0.05
 
 
 def _git_sha() -> str:
@@ -218,6 +222,63 @@ def bench_tracing_overhead(quick: bool, repeats: int):
     }
 
 
+class _TimedSink(TelemetrySink):
+    """A sink that accounts for its own recording wall time."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.spent_s = 0.0
+
+    def record_window(self, *args, **kwargs) -> None:
+        start = time.perf_counter()
+        super().record_window(*args, **kwargs)
+        self.spent_s += time.perf_counter() - start
+
+
+def bench_telemetry_sink(world, scale, quick: bool):
+    """Sink cost as a fraction of traced pipeline-window wall time.
+
+    Measures the warehouse writes directly (time spent inside
+    ``record_window``) rather than differencing two noisy end-to-end
+    medians, and asserts the ≤5 % budget: persisting a window's spans,
+    metric deltas and health report must stay negligible next to building
+    and scoring the window itself.
+    """
+    from repro.config import ModelConfig
+    from repro.core import ChurnPipeline
+    from repro.dataplat.telemetry import TelemetryWarehouse
+
+    sink = _TimedSink(TelemetryWarehouse(), run_id="bench-0001")
+    previous_tracer = observability.set_tracer(observability.Tracer())
+    previous_metrics = observability.set_metrics(None)
+    try:
+        pipeline = ChurnPipeline(
+            world,
+            scale,
+            model=ModelConfig(n_trees=8 if quick else 16, min_samples_leaf=20),
+            seed=0,
+            allow_degraded=True,
+            telemetry=sink,
+        )
+        start = time.perf_counter()
+        for spec in pipeline.windows.windows(test_months=[2, 3]):
+            pipeline.run_window(spec)
+        total = time.perf_counter() - start
+    finally:
+        observability.set_tracer(previous_tracer)
+        observability.set_metrics(previous_metrics)
+    ratio = sink.spent_s / total if total > 0 else float("inf")
+    assert ratio < SINK_BUDGET, (
+        f"telemetry sink cost {ratio:.1%} exceeds the {SINK_BUDGET:.0%} budget"
+    )
+    return {
+        "windows_s": total,
+        "sink_s": sink.spent_s,
+        "overhead_ratio": ratio,
+        "budget": SINK_BUDGET,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -252,6 +313,7 @@ def main(argv=None) -> int:
 
     cache = bench_catalog_scan(world, repeats)
     tracing = bench_tracing_overhead(args.quick, repeats)
+    telemetry_sink = bench_telemetry_sink(world, scale, args.quick)
     pool.close()
 
     result = {
@@ -274,6 +336,7 @@ def main(argv=None) -> int:
         },
         "cache": cache,
         "tracing": tracing,
+        "telemetry_sink": telemetry_sink,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(result, indent=2) + "\n")

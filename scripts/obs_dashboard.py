@@ -1,0 +1,162 @@
+"""Render a telemetry-warehouse dump as an operator dashboard.
+
+Works on anything :meth:`repro.dataplat.telemetry.TelemetryWarehouse.dump`
+writes (e.g. ``examples/watchtower_drift.py`` leaves one behind)::
+
+    python scripts/obs_dashboard.py telemetry.json [--run RUN_ID]
+
+The dump is reloaded into an in-process warehouse, so every panel below is
+an ordinary SQL query over ``__telemetry.*`` — copy one into your own
+session to drill further.  Panels: per-window wall time and model quality,
+drift tiers per window, fired alerts, and pipeline health.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dataplat.telemetry import TelemetryWarehouse
+
+
+def _rows(warehouse: TelemetryWarehouse, sql: str) -> list[tuple]:
+    try:
+        return list(warehouse.query(sql).rows())
+    except Exception:
+        # Dumps from partial runs may miss whole tables (no spans recorded,
+        # no alerts fired); an empty panel beats a stack trace.
+        return []
+
+
+def render_run(warehouse: TelemetryWarehouse, run_id: str) -> list[str]:
+    lines = [f"== run {run_id} =="]
+
+    windows = _rows(
+        warehouse,
+        f"""
+        SELECT window, MAX(wall_s) AS wall_s
+        FROM __telemetry.spans
+        WHERE run_id = '{run_id}' AND name = 'pipeline.window'
+        GROUP BY window ORDER BY window
+        """,
+    )
+    aucs = dict(
+        _rows(
+            warehouse,
+            f"""
+            SELECT window, MAX(value) AS auc FROM __telemetry.metrics
+            WHERE run_id = '{run_id}' AND kind = 'gauge'
+              AND name = 'pipeline.auc'
+            GROUP BY window
+            """,
+        )
+    )
+    lines.append("-- windows (pipeline.window span / pipeline.auc gauge) --")
+    if not windows and aucs:
+        windows = [(w, None) for w in sorted(aucs)]
+    for window, wall_s in windows:
+        auc = aucs.get(window)
+        lines.append(
+            f"  window {int(window):>3}: "
+            + (f"wall={float(wall_s):7.3f}s" if wall_s is not None else " " * 13)
+            + (f"  auc={float(auc):.4f}" if auc is not None else "")
+        )
+    if not windows:
+        lines.append("  (none recorded)")
+
+    lines.append("-- drift (worst PSI per window, non-ok findings) --")
+    worst = _rows(
+        warehouse,
+        f"""
+        SELECT window, MAX(psi) AS psi, COUNT(*) AS findings
+        FROM __telemetry.drift WHERE run_id = '{run_id}'
+        GROUP BY window ORDER BY window
+        """,
+    )
+    hot = _rows(
+        warehouse,
+        f"""
+        SELECT window, name, psi, level FROM __telemetry.drift
+        WHERE run_id = '{run_id}' AND level <> 'ok'
+        ORDER BY window, psi DESC
+        """,
+    )
+    for window, psi, findings in worst:
+        lines.append(
+            f"  window {int(window):>3}: worst PSI={float(psi):.4f} "
+            f"over {int(findings)} findings"
+        )
+    for window, name, psi, level in hot:
+        lines.append(
+            f"    window {int(window):>3}  {name:<40} "
+            f"PSI={float(psi):.4f} [{level}]"
+        )
+    if not worst:
+        lines.append("  (no drift reports recorded)")
+
+    lines.append("-- alerts --")
+    alerts = _rows(
+        warehouse,
+        f"""
+        SELECT window, severity, rule, message FROM __telemetry.alerts
+        WHERE run_id = '{run_id}' ORDER BY window
+        """,
+    )
+    for window, severity, rule, message in alerts:
+        lines.append(
+            f"  [{str(severity).upper():<4}] window {int(window)} "
+            f"{rule}: {message}"
+        )
+    if not alerts:
+        lines.append("  (none fired)")
+
+    lines.append("-- health --")
+    health = _rows(
+        warehouse,
+        f"""
+        SELECT window, status, quarantined_rows, faults_injected
+        FROM __telemetry.health WHERE run_id = '{run_id}' ORDER BY window
+        """,
+    )
+    for window, status, quarantined, faults in health:
+        lines.append(
+            f"  window {int(window):>3}: {status}  "
+            f"quarantined={int(quarantined)} faults={int(faults)}"
+        )
+    if not health:
+        lines.append("  (no health reports recorded)")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "dump", type=pathlib.Path, help="TelemetryWarehouse.dump() JSON file"
+    )
+    parser.add_argument(
+        "--run", default=None, help="render only this run id (default: all)"
+    )
+    args = parser.parse_args(argv)
+
+    warehouse = TelemetryWarehouse.load_dump(args.dump)
+    runs = warehouse.runs()
+    if args.run is not None:
+        if args.run not in runs:
+            print(f"run {args.run!r} not in dump (has: {', '.join(runs)})")
+            return 1
+        runs = [args.run]
+    if not runs:
+        print("dump contains no telemetry rows")
+        return 1
+    for run_id in runs:
+        for line in render_run(warehouse, run_id):
+            print(line)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

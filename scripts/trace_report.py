@@ -6,8 +6,10 @@ writes (e.g. ``REPRO_TRACE=trace.json python examples/quickstart.py``)::
     python scripts/trace_report.py trace.json [--depth N] [--top K]
 
 The tree view shows nesting, wall/CPU time, tags and counters per span;
-the summary aggregates wall time by span name, which answers the stage
-budget question ("how much time went under feature.F5?") directly.
+the summary aggregates total and *self* wall time by span name (self =
+wall minus direct children), which answers both the stage budget question
+("how much time went under feature.F5?") and the hot-spot question
+("where is that time actually spent?") directly.
 """
 
 from __future__ import annotations
@@ -51,22 +53,41 @@ def render_tree(span: Span, depth: int, max_depth: int | None) -> list[str]:
 
 
 def render_summary(roots: list[Span], top: int) -> list[str]:
+    """Aggregate wall/CPU/self time by span name, wall-time descending.
+
+    *self* is the span's wall time minus its direct children's — the time
+    spent in the span's own code.  A stage whose total is large but whose
+    self is small is just a wrapper; optimization effort belongs where
+    self time concentrates.
+    """
     totals: dict[str, dict[str, float]] = {}
+
+    def visit(span: Span) -> None:
+        bucket = totals.setdefault(
+            span.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0, "self_s": 0.0}
+        )
+        bucket["count"] += 1
+        bucket["wall_s"] += span.wall_s
+        bucket["cpu_s"] += span.cpu_s
+        bucket["self_s"] += max(
+            span.wall_s - sum(c.wall_s for c in span.children), 0.0
+        )
+        for child in span.children:
+            visit(child)
+
     for root in roots:
-        for name, agg in root.summary().items():
-            bucket = totals.setdefault(
-                name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
-            )
-            bucket["count"] += agg["count"]
-            bucket["wall_s"] += agg["wall_s"]
-            bucket["cpu_s"] += agg["cpu_s"]
+        visit(root)
     ranked = sorted(totals.items(), key=lambda kv: kv[1]["wall_s"], reverse=True)
     width = max((len(name) for name, _ in ranked[:top]), default=4)
-    lines = [f"{'span':<{width}}  {'count':>6}  {'wall':>10}  {'cpu':>10}"]
+    lines = [
+        f"{'span':<{width}}  {'count':>6}  {'wall':>10}  {'self':>10}  "
+        f"{'cpu':>10}"
+    ]
     for name, agg in ranked[:top]:
         lines.append(
             f"{name:<{width}}  {agg['count']:>6.0f}  "
-            f"{agg['wall_s'] * 1e3:>8.2f}ms  {agg['cpu_s'] * 1e3:>8.2f}ms"
+            f"{agg['wall_s'] * 1e3:>8.2f}ms  {agg['self_s'] * 1e3:>8.2f}ms  "
+            f"{agg['cpu_s'] * 1e3:>8.2f}ms"
         )
     return lines
 

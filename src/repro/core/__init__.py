@@ -11,6 +11,8 @@
 * :mod:`.rootcause` — per-churner cause attribution (the paper's stated
   Section-6 extension).
 * :mod:`.monitoring` — PSI feature/score drift reports between retrains.
+* :mod:`.watchtower` — the continuous monitoring loop: declarative alert
+  rules evaluated over the telemetry warehouse after each window.
 * :mod:`.budget` — expected-profit campaign depth optimization.
 * :mod:`.netopt` — counterfactual network-optimization study (§5.3).
 * :mod:`.experiments` — one runner per table/figure of Section 5.
@@ -24,9 +26,12 @@ from .predictor import ChurnPredictor
 from .retention import RetentionCampaign
 from .monitoring import ModelMonitor
 from .rootcause import RootCauseAnalyzer
+from .watchtower import Alert, AlertRule, Watchtower
 from .window import SlidingWindow, WindowSpec
 
 __all__ = [
+    "Alert",
+    "AlertRule",
     "CampaignEconomics",
     "ChurnPipeline",
     "ChurnPredictor",
@@ -34,6 +39,7 @@ __all__ = [
     "RetentionCampaign",
     "RootCauseAnalyzer",
     "SlidingWindow",
+    "Watchtower",
     "WindowResult",
     "WindowSpec",
     "churn_labels",

@@ -49,6 +49,14 @@ def population_stability_index(
         return 0.0 if np.all(current == reference[0]) else float("inf")
     quantiles = np.linspace(0, 1, n_bins + 1)[1:-1]
     edges = np.unique(np.quantile(reference, quantiles))
+    if len(edges) < 2:
+        # Degenerate deciles: a near-constant (but not constant) reference
+        # collapses every quantile onto one value, leaving a split where
+        # one side holds ~all reference mass — a wholesale shift of the
+        # current sample within the reference range then scores ~0.  Fall
+        # back to a 2-bin split at the midpoint of the reference range so
+        # mass moving across the range is visible.
+        edges = np.array([0.5 * (reference.min() + reference.max())])
     ref_counts = np.bincount(
         np.searchsorted(edges, reference, side="right"), minlength=len(edges) + 1
     ).astype(np.float64)

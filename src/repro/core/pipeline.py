@@ -15,6 +15,7 @@ the model that scores a customer saw fresher behaviour.
 from __future__ import annotations
 
 import copy
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -28,6 +29,7 @@ from ..dataplat.blockstore import BlockStore
 from ..dataplat.executor import ExecutorBackend
 from ..dataplat.observability import span
 from ..dataplat.resilience import PipelineHealthReport
+from ..dataplat.telemetry import TelemetrySink
 from ..errors import DataPlatformError, ExperimentError, FeatureError
 from ..features import ALL_CATEGORIES, WideTableBuilder
 from ..ml.metrics import pr_auc, precision_at, recall_at, roc_auc
@@ -91,6 +93,7 @@ class ChurnPipeline:
         store: BlockStore | None = None,
         allow_degraded: bool = False,
         backend: "ExecutorBackend | str | None" = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         unknown = set(categories) - set(ALL_CATEGORIES)
         if unknown:
@@ -111,10 +114,13 @@ class ChurnPipeline:
         #: :class:`WindowResult` carries a :class:`PipelineHealthReport`.
         #: ``backend`` fans out per-month feature builds and per-tree RF
         #: work; results are bit-identical to serial runs.
+        #: ``telemetry`` sinks every window's spans, metric deltas and
+        #: health report into the warehouse, keyed by the sink's run id.
         self.allow_degraded = allow_degraded
         self._table_source = table_source
         self._store = store
         self._backend = backend
+        self.telemetry = telemetry
         self.builder = WideTableBuilder(world, seed=seed, table_source=table_source)
         self.windows = SlidingWindow(world)
         self._label_cache: dict[int, np.ndarray] = {}
@@ -149,6 +155,7 @@ class ChurnPipeline:
         ``pipeline.window`` span, and the window's health report (when
         present) absorbs the per-stage span timings of its own subtree.
         """
+        start = time.perf_counter()
         with span(
             "pipeline.window",
             test_month=spec.test_month,
@@ -157,7 +164,32 @@ class ChurnPipeline:
             result = self._execute_window(spec, categories)
         if result.health is not None and observability.enabled():
             result.health.absorb_trace(window_span)
+        self._record_window_telemetry(
+            spec, result, window_span, time.perf_counter() - start
+        )
         return result
+
+    def _record_window_telemetry(
+        self, spec: WindowSpec, result: WindowResult, window_span, wall_s: float
+    ) -> None:
+        """Update metric instruments and sink the window (when enabled).
+
+        Metric updates happen unconditionally so a metrics-only consumer
+        (no warehouse) still sees them; the sink additionally persists the
+        finished ``pipeline.window`` span subtree, the per-window metric
+        deltas and the health report under ``(run_id, test_month)``.
+        """
+        metrics = observability.get_metrics()
+        metrics.counter("pipeline.windows").inc()
+        metrics.gauge("pipeline.auc").set(result.auc)
+        metrics.gauge("pipeline.pr_auc").set(result.pr_auc)
+        metrics.histogram("pipeline.window_wall_s").observe(wall_s)
+        if self.telemetry is None:
+            return
+        spans = [window_span] if observability.enabled() else []
+        self.telemetry.record_window(
+            spec.test_month, spans=spans, health=result.health
+        )
 
     def _execute_window(
         self, spec: WindowSpec, categories: tuple[str, ...] | None

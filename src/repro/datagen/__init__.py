@@ -13,12 +13,15 @@ and loads raw tables into a platform catalog.
 """
 
 from .population import CustomerPopulation
+from .scenarios import DriftScenario, inject_drift
 from .simulator import MonthData, SignalWeights, TelcoSimulator, TelcoWorld
 
 __all__ = [
     "CustomerPopulation",
+    "DriftScenario",
     "MonthData",
     "SignalWeights",
     "TelcoSimulator",
     "TelcoWorld",
+    "inject_drift",
 ]

@@ -1,0 +1,138 @@
+"""Deterministic drift-injection scenarios for monitoring exercises.
+
+Production drift reaches the paper's system through its raw tables — a
+pricing change erodes ARPU month over month, a botched network rollout
+degrades PS KPIs overnight.  :func:`inject_drift` reproduces both shapes on
+an already-simulated :class:`~repro.datagen.simulator.TelcoWorld` by
+transforming the affected monthly tables *after* simulation:
+
+* **gradual ARPU decay** — from ``arpu_decay_start`` on, every charge /
+  revenue column of the ``billing`` table shrinks by a compounding
+  ``arpu_decay_rate`` per month (month ``k`` after onset is scaled by
+  ``(1 − rate)^k``), the slow leak a ``consecutive``-window alert rule is
+  built to catch;
+* **sudden PS-KPI shift** — from ``ps_shift_month`` on, the ``ps_kpi``
+  table's delay/RTT columns inflate by ``1 + ps_shift`` and its throughput
+  columns deflate by the same factor: a step change that should cross the
+  PSI ALERT band in its first window.
+
+The transforms are pure functions of the input world (no new randomness),
+so a drifted world is exactly as reproducible as the seeded world it came
+from, and two backends see bit-identical drifted tables.  Labels, latents
+and graphs are untouched: the scenario models *observation* drift — the
+kind feature monitoring must catch precisely because the model's training
+distribution no longer matches what it scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..errors import SimulationError
+from .simulator import TelcoWorld
+
+__all__ = ["DriftScenario", "inject_drift"]
+
+#: Billing columns eroded by the ARPU decay (charges and revenue flow).
+ARPU_COLUMNS = (
+    "total_charge",
+    "gprs_charge",
+    "p2p_sms_mo_charge",
+    "balance",
+)
+
+#: PS-KPI columns where *higher is worse*: inflated by the sudden shift.
+PS_DELAY_COLUMNS = (
+    "page_response_delay",
+    "page_browsing_delay",
+    "stream_start_delay",
+    "email_delay",
+    "tcp_rtt",
+)
+
+#: PS-KPI columns where *lower is worse*: deflated by the sudden shift.
+PS_THROUGHPUT_COLUMNS = (
+    "page_download_throughput",
+    "stream_throughput",
+    "l4_ul_throughput",
+    "l4_dw_throughput",
+)
+
+
+@dataclass(frozen=True)
+class DriftScenario:
+    """Parameters of one injected drift episode.
+
+    Either ingredient can be disabled: set ``arpu_decay_start`` (or
+    ``ps_shift_month``) beyond the simulated horizon, or its magnitude
+    to 0.
+    """
+
+    #: First month (1-indexed) whose billing is eroded.
+    arpu_decay_start: int = 10**9
+    #: Per-month multiplicative erosion in (0, 1); month ``k`` after onset
+    #: is scaled by ``(1 - rate)**(k + 1)``.
+    arpu_decay_rate: float = 0.12
+    #: Month the PS-KPI step change lands (1-indexed).
+    ps_shift_month: int = 10**9
+    #: Relative size of the step; delays multiply by ``1 + shift``.
+    ps_shift: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.arpu_decay_rate < 1.0:
+            raise SimulationError(
+                f"arpu_decay_rate must be in [0, 1), got {self.arpu_decay_rate}"
+            )
+        if self.ps_shift < 0.0:
+            raise SimulationError(
+                f"ps_shift must be >= 0, got {self.ps_shift}"
+            )
+        if self.arpu_decay_start < 1 or self.ps_shift_month < 1:
+            raise SimulationError("drift onset months are 1-indexed (>= 1)")
+
+
+def inject_drift(world: TelcoWorld, scenario: DriftScenario) -> TelcoWorld:
+    """A copy of ``world`` with the scenario's table drift applied.
+
+    The input world is not modified; months before every onset share their
+    table objects with the original.
+    """
+    months = []
+    for data in world.months:
+        tables = dict(data.tables)
+        t = data.month
+        if (
+            t >= scenario.arpu_decay_start
+            and scenario.arpu_decay_rate > 0.0
+            and "billing" in tables
+        ):
+            factor = (1.0 - scenario.arpu_decay_rate) ** (
+                t - scenario.arpu_decay_start + 1
+            )
+            tables["billing"] = _scale_columns(
+                tables["billing"], ARPU_COLUMNS, factor
+            )
+        if (
+            t >= scenario.ps_shift_month
+            and scenario.ps_shift > 0.0
+            and "ps_kpi" in tables
+        ):
+            inflate = 1.0 + scenario.ps_shift
+            shifted = _scale_columns(tables["ps_kpi"], PS_DELAY_COLUMNS, inflate)
+            tables["ps_kpi"] = _scale_columns(
+                shifted, PS_THROUGHPUT_COLUMNS, 1.0 / inflate
+            )
+        months.append(replace(data, tables=tables))
+    return replace(world, months=months)
+
+
+def _scale_columns(table, names: tuple[str, ...], factor: float):
+    """Multiply the named columns (those present) by ``factor``."""
+    for name in names:
+        if name not in table.schema:
+            continue
+        values = np.asarray(table[name], dtype=np.float64) * factor
+        table = table.with_column(name, values)
+    return table

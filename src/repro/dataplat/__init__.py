@@ -46,6 +46,7 @@ from .resilience import (
 from .schema import Column, ColumnType, Schema
 from .sql import SQLEngine
 from .table import Table
+from .telemetry import TELEMETRY_DATABASE, TelemetrySink, TelemetryWarehouse
 
 __all__ = [
     "BlockStore",
@@ -64,8 +65,11 @@ __all__ = [
     "SimClock",
     "SQLEngine",
     "StorageHealth",
+    "TELEMETRY_DATABASE",
     "Table",
     "TaskRuntime",
+    "TelemetrySink",
+    "TelemetryWarehouse",
     "Tracer",
     "get_metrics",
     "profiled",

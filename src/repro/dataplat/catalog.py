@@ -182,6 +182,31 @@ class Catalog:
         """
         self._cache.clear()
 
+    def drop_partition(
+        self, name: str, partition: str, database: str = "default"
+    ) -> None:
+        """Drop one partition of a table, deleting its file.
+
+        Dropping the last partition removes the table itself.  This is the
+        retention primitive of the telemetry warehouse: expiring a run is a
+        set of partition drops, never a rewrite of surviving rows.
+        """
+        key = self._resolve(name, database)
+        parts = self._tables[key]
+        if partition not in parts:
+            raise CatalogError(
+                f"no partition {partition!r} in {database}.{name}; "
+                f"available: {sorted(parts)}"
+            )
+        path = parts.pop(partition)
+        if self._store.exists(path):
+            self._store.delete(path)
+        self._cache.invalidate(path)
+        self._temp.pop(path, None)
+        if not parts:
+            del self._tables[key]
+            del self._schemas[key]
+
     def drop(self, name: str, database: str = "default") -> None:
         """Drop a table and delete its files."""
         key = self._resolve(name, database)

@@ -384,6 +384,10 @@ class PipelineHealthReport:
     #: absorbed from the active tracer, so a health report answers not just
     #: "what degraded" but "where the time went" (see :meth:`absorb_trace`).
     span_timings: dict[str, dict] = field(default_factory=dict)
+    #: Watchtower alerts fired for this window
+    #: (:class:`~repro.core.watchtower.Alert`), folded in by
+    #: :meth:`absorb_alerts` so drift and degradation read from one report.
+    alerts: list = field(default_factory=list)
 
     def record(self, kind: str, subject: str, detail: str = "") -> None:
         self.events.append(ResilienceEvent(kind, subject, detail))
@@ -416,6 +420,21 @@ class PipelineHealthReport:
     def absorb_runtime(self, runtime: TaskRuntime) -> None:
         self.task_retries += runtime.task_retries
         self.faults_injected += runtime.injector.total_injected
+
+    def absorb_alerts(self, alerts: Iterable) -> None:
+        """Fold fired watchtower alerts into this window's report.
+
+        Each alert also lands as an event, so the chronological event log
+        and the alert list stay consistent.
+        """
+        for alert in alerts:
+            self.alerts.append(alert)
+            self.record(f"alert_{alert.severity}", alert.rule, alert.message)
+
+    @property
+    def paged(self) -> bool:
+        """Whether any ``page``-tier alert fired for this window."""
+        return any(a.severity == "page" for a in self.alerts)
 
     def absorb_trace(self, tracer) -> None:
         """Fold a tracer's per-span-name aggregate timings into the report.
@@ -454,6 +473,13 @@ class PipelineHealthReport:
                 f"  table cache: {self.cache_hits}/{reads} hits "
                 f"({self.cache_hits / reads:.0%})"
             )
+        if self.alerts:
+            lines.append(f"  alerts: {len(self.alerts)}")
+            for alert in self.alerts:
+                lines.append(
+                    f"    [{alert.severity.upper():<4}] {alert.rule}: "
+                    f"{alert.message}"
+                )
         if self.span_timings:
             top = sorted(
                 self.span_timings.items(),

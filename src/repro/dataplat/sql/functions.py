@@ -156,15 +156,16 @@ def aggregate_grouped(
         totals = np.bincount(group_ids, weights=numeric, minlength=n_groups)
         counts = np.bincount(group_ids, minlength=n_groups)
         return totals / np.maximum(counts, 1)
-    if name == "MIN":
-        out = np.full(n_groups, np.inf)
-        np.minimum.at(out, group_ids, numeric)
-        out[np.isinf(out)] = 0.0
-        return out
-    if name == "MAX":
-        out = np.full(n_groups, -np.inf)
-        np.maximum.at(out, group_ids, numeric)
-        out[np.isinf(out)] = 0.0
+    if name in ("MIN", "MAX"):
+        sentinel = np.inf if name == "MIN" else -np.inf
+        out = np.full(n_groups, sentinel)
+        if name == "MIN":
+            np.minimum.at(out, group_ids, numeric)
+        else:
+            np.maximum.at(out, group_ids, numeric)
+        # Zero only the genuinely empty groups — a group whose true
+        # extremum is ±inf (e.g. an infinite PSI) must keep it.
+        out[np.bincount(group_ids, minlength=n_groups) == 0] = 0.0
         return out
     if name == "MEDIAN":
         out = np.zeros(n_groups)

@@ -4,6 +4,7 @@ import doctest
 
 import pytest
 
+import repro.core.watchtower
 import repro.dataplat.schema
 import repro.dataplat.sql.engine
 import repro.dataplat.table
@@ -12,6 +13,7 @@ MODULES = [
     repro.dataplat.schema,
     repro.dataplat.table,
     repro.dataplat.sql.engine,
+    repro.core.watchtower,
 ]
 
 

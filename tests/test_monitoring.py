@@ -8,6 +8,7 @@ from repro.core.monitoring import (
     PSI_WATCH,
     DriftFinding,
     ModelMonitor,
+    MonitoringReport,
     population_stability_index,
 )
 from repro.errors import ExperimentError
@@ -56,6 +57,26 @@ class TestPSI:
         b = rng.integers(0, 3, size=2000).astype(float)
         assert population_stability_index(a, b) < PSI_WATCH
 
+    def test_degenerate_quantile_bins_regression(self):
+        """A near-constant reference must still see a wholesale shift.
+
+        99 % of the reference sits at one value, so every decile edge
+        collapses onto it and the old binning scored a complete shift of
+        the current sample (to the rare value) as ~0.  The 2-bin midpoint
+        fallback makes the mass movement visible.
+        """
+        reference = np.array([5.0] * 99 + [0.0])
+        current = np.zeros(200)
+        assert population_stability_index(reference, current) > PSI_ALERT
+        # And the mirrored degenerate case (mass at the low end).
+        reference = np.array([0.0] * 99 + [5.0])
+        current = np.full(200, 5.0)
+        assert population_stability_index(reference, current) > PSI_ALERT
+
+    def test_degenerate_bins_stable_when_unchanged(self):
+        reference = np.array([5.0] * 99 + [0.0])
+        assert population_stability_index(reference, reference) < PSI_WATCH
+
 
 class TestDriftFinding:
     @pytest.mark.parametrize(
@@ -63,6 +84,27 @@ class TestDriftFinding:
     )
     def test_levels(self, psi, level):
         assert DriftFinding("f", psi).level == level
+
+    @pytest.mark.parametrize(
+        "psi,level",
+        [
+            (PSI_WATCH - 1e-9, "ok"),
+            (PSI_WATCH, "watch"),
+            (PSI_ALERT - 1e-9, "watch"),
+            (PSI_ALERT, "ALERT"),
+            (float("inf"), "ALERT"),
+        ],
+    )
+    def test_tier_boundaries(self, psi, level):
+        """Band edges are inclusive upward: PSI == band -> higher tier."""
+        assert DriftFinding("f", psi).level == level
+
+    def test_infinite_psi_from_constant_reference_shift(self):
+        """A constant feature that moves at all is an immediate ALERT."""
+        psi = population_stability_index(np.full(100, 2.0), np.full(80, 2.5))
+        finding = DriftFinding("constant_feature", psi)
+        assert psi == float("inf")
+        assert finding.level == "ALERT"
 
 
 class TestModelMonitor:
@@ -122,6 +164,30 @@ class TestModelMonitor:
         text = report.render()
         assert "Model monitoring" in text
         assert "HEALTHY" in text
+
+    def test_render_golden(self):
+        """Exact operator-report text for a hand-built report."""
+        report = MonitoringReport(
+            reference_label="month 4",
+            current_label="month 5",
+            feature_findings=[
+                DriftFinding("balance", 0.3012),
+                DriftFinding("total_charge", 0.1599),
+                DriftFinding("tcp_rtt", 0.0123),
+            ],
+            score_finding=DriftFinding("model_score", 0.05),
+            reference_churn_rate=0.04,
+            current_churn_rate=0.055,
+        )
+        assert report.render(top=2) == (
+            "Model monitoring: month 4 -> month 5\n"
+            "  churn rate: 4.00% -> 5.50%\n"
+            "  score drift: PSI=0.0500 [ok]\n"
+            "  top drifting features (of 3):\n"
+            "    balance                                  PSI=0.3012 [ALERT]\n"
+            "    total_charge                             PSI=0.1599 [watch]\n"
+            "  status: 1 ALERT(S) — retrain/investigate"
+        )
 
     def test_shape_validation(self, rng):
         with pytest.raises(ExperimentError):
