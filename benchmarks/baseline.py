@@ -49,7 +49,7 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_micro.json"
 
 #: Bump when the BENCH_micro.json layout changes, so downstream dashboards
 #: and the CI diff job can refuse to compare incompatible files.
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 #: Telemetry sinking must stay below this fraction of window wall time.
 SINK_BUDGET = 0.05
@@ -179,6 +179,61 @@ def bench_catalog_scan(world, repeats: int):
         "cache_hits": health.cache_hits,
         "cache_misses": health.cache_misses,
         "hit_rate": health.cache_hit_rate,
+    }
+
+
+def bench_columnar_scan(quick: bool, repeats: int):
+    """v1 full decode vs v2 chunked scan with zone-map pruning.
+
+    Six month partitions of a wide table; the query reads two columns of
+    one month (``month = 3``).  v1 must decode every column of every
+    partition; v2 fetches two chunks from the one partition whose zone map
+    admits the predicate.  Caches are cleared before every run so the
+    numbers measure decode + pruning, not the LRU.
+    """
+    from repro.dataplat.sql import SQLEngine
+
+    rows = 4_000 if quick else 20_000
+    months = 6
+    wide_cols = 12
+
+    def build_catalog(fmt: str) -> Catalog:
+        rng = np.random.default_rng(7)  # same data whichever format
+        catalog = Catalog(default_format=fmt)
+        for month in range(1, months + 1):
+            arrays = {
+                "month": np.full(rows, month, dtype=np.int64),
+                "imsi": np.arange(rows, dtype=np.int64),
+            }
+            for i in range(wide_cols):
+                arrays[f"f{i}"] = rng.normal(size=rows)
+            catalog.save(
+                Table.from_arrays(**arrays), "cdr", partition=f"month={month}"
+            )
+        return catalog
+
+    sql = "SELECT imsi, f0 FROM cdr WHERE month = 3 AND f0 > 0.5"
+    engines = {
+        "v1": SQLEngine(build_catalog("v1")),
+        "v2": SQLEngine(build_catalog("v2")),
+    }
+    times = {}
+    results = {}
+    for label, engine in engines.items():
+        def run(e=engine):
+            e.catalog.clear_cache()
+            results[label] = e.query(sql)
+        times[label] = _median_time(run, repeats)
+    assert results["v1"] == results["v2"], "v1/v2 scan results diverged"
+    health = engines["v2"].catalog.store.health
+    return {
+        "v1_s": times["v1"],
+        "v2_s": times["v2"],
+        "speedup": times["v1"] / times["v2"] if times["v2"] > 0 else float("inf"),
+        "rows": int(results["v2"].num_rows),
+        "partitions_pruned": health.partitions_pruned,
+        "chunks_skipped": health.chunks_skipped,
+        "bytes_decoded_saved": health.bytes_decoded_saved,
     }
 
 
@@ -312,6 +367,7 @@ def main(argv=None) -> int:
         )
 
     cache = bench_catalog_scan(world, repeats)
+    columnar = bench_columnar_scan(args.quick, repeats)
     tracing = bench_tracing_overhead(args.quick, repeats)
     telemetry_sink = bench_telemetry_sink(world, scale, args.quick)
     pool.close()
@@ -335,6 +391,7 @@ def main(argv=None) -> int:
             for name, times in ops.items()
         },
         "cache": cache,
+        "columnar_scan": columnar,
         "tracing": tracing,
         "telemetry_sink": telemetry_sink,
     }

@@ -1,0 +1,79 @@
+"""Gate the columnar-scan speedup against the committed baseline.
+
+CI runs ``benchmarks/baseline.py --quick`` and then this script, which
+compares the fresh ``columnar_scan`` section against the ``BENCH_micro.json``
+committed at the repo root.  The build fails when the v2 speedup falls more
+than ``--tolerance`` (default 20%) below the committed number — the guard
+the ISSUE asks for so a later change cannot quietly give the win back.
+
+Usage::
+
+    python scripts/check_bench_regression.py CURRENT.json [--baseline PATH]
+        [--tolerance 0.2]
+
+Exit codes: 0 ok, 1 regression, 2 unusable inputs (missing section or
+schema-version mismatch — refuse to compare apples to oranges).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_micro.json"
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read benchmark file {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop in speedup (0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    for label, doc in (("current", current), ("baseline", baseline)):
+        if "columnar_scan" not in doc:
+            print(f"{label} file has no columnar_scan section", file=sys.stderr)
+            return 2
+    cur_meta = current.get("meta", {}).get("schema_version")
+    base_meta = baseline.get("meta", {}).get("schema_version")
+    if cur_meta != base_meta:
+        print(
+            f"schema_version mismatch: current {cur_meta} vs baseline "
+            f"{base_meta}; refresh the committed BENCH_micro.json",
+            file=sys.stderr,
+        )
+        return 2
+
+    cur = float(current["columnar_scan"]["speedup"])
+    base = float(baseline["columnar_scan"]["speedup"])
+    floor = base * (1.0 - args.tolerance)
+    verdict = "OK" if cur >= floor else "REGRESSION"
+    print(
+        f"columnar_scan speedup: current {cur:.2f}x, committed {base:.2f}x, "
+        f"floor {floor:.2f}x -> {verdict}"
+    )
+    return 0 if cur >= floor else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,6 +50,12 @@ class StorageHealth:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: v2 scan pruning (maintained by the owning catalog): column chunks
+    #: never fetched (projection or zone-map skips), whole partitions
+    #: skipped by zone maps, and the encoded bytes those skips saved.
+    chunks_skipped: int = 0
+    partitions_pruned: int = 0
+    bytes_decoded_saved: int = 0
 
     @property
     def cache_hit_rate(self) -> float:

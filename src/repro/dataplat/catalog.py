@@ -5,6 +5,13 @@ intermediate feature tables "many times".  :class:`Catalog` reproduces that:
 it maps ``database.table`` (optionally partitioned, e.g. by month) onto block
 store paths, caches deserialized tables, and exposes the listing / drop /
 describe surface a metastore has.
+
+Partitions are stored in the **v2 columnar format** by default (one chunk
+per column, zone maps in a JSON manifest — see :mod:`.columnar`); v1
+whole-table npz partitions remain readable, negotiated per path.  The
+:meth:`Catalog.scan` API reads only the column chunks a query references
+and skips partitions whose zone maps cannot satisfy the pushed-down
+conjuncts.
 """
 
 from __future__ import annotations
@@ -13,6 +20,19 @@ from dataclasses import dataclass
 
 from ..errors import CatalogError
 from .blockstore import DEFAULT_TABLE_CACHE_BYTES, BlockStore, TableCache
+from .columnar import (
+    CHUNK_SUFFIX,
+    MANIFEST_SUFFIX,
+    ChunkMeta,
+    PartitionManifest,
+    ScanPredicate,
+    array_nbytes,
+    chunk_dir,
+    decode_column,
+    encode_column,
+    manifest_allows,
+)
+from .observability import get_metrics, span
 from .schema import Schema
 from .table import Table
 
@@ -39,11 +59,16 @@ class Catalog:
     store:
         Backing :class:`BlockStore`; a private one is created if omitted.
     cache_bytes:
-        Decoded-bytes budget of the LRU table cache.  Repeated month-window
-        scans hit this cache instead of re-decoding npz blocks; hit/miss/
-        eviction counters land on the store's :class:`StorageHealth`.  The
-        cache is invalidated whenever the store reports a path's bytes may
-        have changed (write, delete, repair, injected corruption).
+        Decoded-bytes budget of the LRU table cache.  v2 partitions cache
+        **per column chunk**, so a two-column query over a 140-column table
+        no longer evicts the whole cache; v1 partitions still cache as one
+        decoded table per file.  Hit/miss/eviction counters land on the
+        store's :class:`StorageHealth`, and the cache is invalidated
+        whenever the store reports a path's bytes may have changed (write,
+        delete, repair, injected corruption).
+    default_format:
+        ``"v2"`` (chunked columnar, the default) or ``"v1"`` (whole-table
+        npz) for new :meth:`save` calls; either format stays readable.
     """
 
     #: Partition value used for unpartitioned tables.
@@ -53,16 +78,24 @@ class Catalog:
         self,
         store: BlockStore | None = None,
         cache_bytes: int = DEFAULT_TABLE_CACHE_BYTES,
+        default_format: str = "v2",
     ) -> None:
+        if default_format not in ("v1", "v2"):
+            raise CatalogError(
+                f"unknown format {default_format!r}; expected 'v1' or 'v2'"
+            )
         self._store = store if store is not None else BlockStore()
+        self._format = default_format
         self._tables: dict[tuple[str, str], dict[str, str]] = {}
         self._schemas: dict[tuple[str, str], Schema] = {}
         self._cache = TableCache(cache_bytes, health=self._store.health)
+        #: Decoded manifests by path; tiny, so kept outside the LRU budget.
+        self._manifests: dict[str, PartitionManifest] = {}
         #: Temp views live outside the LRU: they have no backing file, so
         #: eviction would lose them rather than cost a re-read.
         self._temp: dict[str, Table] = {}
         self._databases: set[str] = {"default"}
-        self._store.add_invalidation_listener(self._cache.invalidate)
+        self._store.add_invalidation_listener(self._on_invalidated)
 
     @property
     def store(self) -> BlockStore:
@@ -70,8 +103,12 @@ class Catalog:
 
     @property
     def table_cache(self) -> TableCache:
-        """The decoded-table LRU (for monitoring and tests)."""
+        """The decoded-table/chunk LRU (for monitoring and tests)."""
         return self._cache
+
+    def _on_invalidated(self, path: str) -> None:
+        self._cache.invalidate(path)
+        self._manifests.pop(path, None)
 
     # ------------------------------------------------------------------
     # Databases
@@ -95,14 +132,19 @@ class Catalog:
         database: str = "default",
         partition: str | None = None,
         overwrite: bool = True,
+        format: str | None = None,
     ) -> None:
         """Write ``table`` to the store and register it.
 
         A ``partition`` value (e.g. ``"month=3"``) appends/overwrites one
-        partition; omitted means the whole unpartitioned table.
+        partition; omitted means the whole unpartitioned table.  ``format``
+        overrides the catalog's default storage format for this partition.
         """
         if database not in self._databases:
             raise CatalogError(f"unknown database: {database}")
+        fmt = format or self._format
+        if fmt not in ("v1", "v2"):
+            raise CatalogError(f"unknown format {fmt!r}; expected 'v1' or 'v2'")
         key = (database, name)
         partition = partition or self.DEFAULT_PARTITION
         existing = self._schemas.get(key)
@@ -111,14 +153,47 @@ class Catalog:
                 f"schema mismatch for {database}.{name}: partition schema "
                 f"{table.schema!r} != table schema {existing!r}"
             )
-        path = self._path(database, name, partition)
-        if self._store.exists(path) and not overwrite:
+        base = self._path_base(database, name, partition)
+        path = base + (MANIFEST_SUFFIX if fmt == "v2" else ".npz")
+        old = self._tables.get(key, {}).get(partition)
+        if old is not None and self._store.exists(old) and not overwrite:
             raise CatalogError(f"partition exists: {database}.{name}/{partition}")
-        self._store.write(path, table.to_bytes())
+        if old is not None and old != path:
+            # Format changed for this partition: drop the stale files.
+            self._delete_partition_files(old)
+        if fmt == "v1":
+            self._store.write(path, table.to_bytes())
+            self._tables.setdefault(key, {})[partition] = path
+            self._schemas[key] = table.schema
+            # The write invalidated any stale entry; cache the fresh table.
+            self._cache.put(path, table, table.nbytes)
+            return
+        chunks = []
+        arrays = {}
+        for column in table.schema:
+            arr = table.column(column.name)
+            payload, zone = encode_column(column, arr)
+            chunk_path = f"{base}/{column.name}{CHUNK_SUFFIX}"
+            self._store.write(chunk_path, payload)
+            chunks.append(
+                ChunkMeta(
+                    name=column.name,
+                    ctype=column.ctype.value,
+                    path=chunk_path,
+                    encoded_bytes=len(payload),
+                    decoded_bytes=array_nbytes(arr),
+                    zone=zone,
+                )
+            )
+            arrays[chunk_path] = arr
+        manifest = PartitionManifest(rows=table.num_rows, chunks=tuple(chunks))
+        self._store.write(path, manifest.to_bytes())
         self._tables.setdefault(key, {})[partition] = path
         self._schemas[key] = table.schema
-        # The write invalidated any stale entry; cache the fresh table.
-        self._cache.put(path, table, table.nbytes)
+        # The writes invalidated any stale entries; cache the fresh chunks.
+        self._manifests[path] = manifest
+        for chunk_path, arr in arrays.items():
+            self._cache.put(chunk_path, arr, array_nbytes(arr))
 
     def register_temp(
         self,
@@ -170,22 +245,105 @@ class Catalog:
             out = out.concat_rows(t)
         return out
 
+    def scan(
+        self,
+        name: str,
+        database: str = "default",
+        columns: list[str] | tuple[str, ...] | None = None,
+        predicate: list[ScanPredicate] | None = None,
+    ) -> Table:
+        """Read a table fetching only ``columns``, pruning by ``predicate``.
+
+        ``columns`` (when given) projects the result in the given order;
+        names the table does not have are ignored.  ``predicate`` is a list
+        of AND-ed :class:`~.columnar.ScanPredicate` conjuncts used purely
+        to *skip* v2 partitions whose zone maps prove no row can match —
+        surviving partitions are returned unfiltered, so callers must still
+        apply their full predicate.  v1 partitions and temp views never
+        prune (no zone maps) and simply decode + project.
+        """
+        key = self._resolve(name, database)
+        parts = self._tables[key]
+        schema = self._schemas[key]
+        sel: list[str] | None = None
+        if columns is not None:
+            sel = [c for c in columns if c in schema]
+        health = self._store.health
+        with span("catalog.scan", table=f"{key[0]}.{key[1]}") as sp:
+            pieces: list[Table] = []
+            for pname in sorted(parts):
+                path = parts[pname]
+                if path in self._temp or not path.endswith(MANIFEST_SUFFIX):
+                    piece = self._read(path)
+                    if sel is not None:
+                        piece = piece.select(sel)
+                    pieces.append(piece)
+                    continue
+                manifest = self._manifest(path)
+                wanted = (
+                    manifest.chunks
+                    if sel is None
+                    else [m for m in manifest.chunks if m.name in set(sel)]
+                )
+                if predicate and not manifest_allows(manifest, predicate):
+                    health.partitions_pruned += 1
+                    skipped = len(manifest.chunks)
+                    saved = sum(m.decoded_bytes for m in manifest.chunks)
+                    health.chunks_skipped += skipped
+                    health.bytes_decoded_saved += saved
+                    sp.incr("partitions_pruned")
+                    sp.incr("chunks_skipped", skipped)
+                    sp.incr("bytes_decoded_saved", saved)
+                    metrics = get_metrics()
+                    metrics.counter("columnar.partitions_pruned").inc()
+                    metrics.counter("columnar.chunks_skipped").inc(skipped)
+                    metrics.counter("columnar.bytes_decoded_saved").inc(saved)
+                    continue
+                projected_away = len(manifest.chunks) - len(wanted)
+                if projected_away:
+                    saved = sum(
+                        m.decoded_bytes
+                        for m in manifest.chunks
+                        if m not in wanted
+                    )
+                    health.chunks_skipped += projected_away
+                    health.bytes_decoded_saved += saved
+                    sp.incr("chunks_skipped", projected_away)
+                    sp.incr("bytes_decoded_saved", saved)
+                    metrics = get_metrics()
+                    metrics.counter("columnar.chunks_skipped").inc(
+                        projected_away
+                    )
+                    metrics.counter("columnar.bytes_decoded_saved").inc(saved)
+                pieces.append(self._read_v2(path, sel, manifest))
+            if not pieces:
+                out_schema = schema if sel is None else schema.select(sel)
+                sp.incr("rows", 0)
+                return Table.empty(out_schema)
+            out = pieces[0]
+            for piece in pieces[1:]:
+                out = out.concat_rows(piece)
+            sp.incr("rows", out.num_rows)
+        return out
+
     def exists(self, name: str, database: str = "default") -> bool:
         return (database, name) in self._tables
 
     def clear_cache(self) -> None:
-        """Drop cached deserialized tables (temp views are kept).
+        """Drop cached deserialized tables/chunks and manifests (temp views
+        are kept).
 
         Subsequent loads re-read from the block store — the path chaos
         tests exercise; ``save`` and ``load`` both repopulate the cache, so
-        this only costs one deserialization per table.
+        this only costs one deserialization per chunk.
         """
         self._cache.clear()
+        self._manifests.clear()
 
     def drop_partition(
         self, name: str, partition: str, database: str = "default"
     ) -> None:
-        """Drop one partition of a table, deleting its file.
+        """Drop one partition of a table, deleting its file(s).
 
         Dropping the last partition removes the table itself.  This is the
         retention primitive of the telemetry warehouse: expiring a run is a
@@ -199,10 +357,7 @@ class Catalog:
                 f"available: {sorted(parts)}"
             )
         path = parts.pop(partition)
-        if self._store.exists(path):
-            self._store.delete(path)
-        self._cache.invalidate(path)
-        self._temp.pop(path, None)
+        self._delete_partition_files(path)
         if not parts:
             del self._tables[key]
             del self._schemas[key]
@@ -211,10 +366,7 @@ class Catalog:
         """Drop a table and delete its files."""
         key = self._resolve(name, database)
         for path in self._tables[key].values():
-            if self._store.exists(path):
-                self._store.delete(path)
-            self._cache.invalidate(path)
-            self._temp.pop(path, None)
+            self._delete_partition_files(path)
         del self._tables[key]
         del self._schemas[key]
 
@@ -249,10 +401,30 @@ class Catalog:
             )
         return key
 
+    def _delete_partition_files(self, path: str) -> None:
+        """Delete every store file backing one partition registration."""
+        if path.endswith(MANIFEST_SUFFIX):
+            for chunk_path in self._store.list_files(chunk_dir(path)):
+                self._store.delete(chunk_path)
+        if self._store.exists(path):
+            self._store.delete(path)
+        self._cache.invalidate(path)
+        self._manifests.pop(path, None)
+        self._temp.pop(path, None)
+
+    def _manifest(self, path: str) -> PartitionManifest:
+        manifest = self._manifests.get(path)
+        if manifest is None:
+            manifest = PartitionManifest.from_bytes(self._store.read(path))
+            self._manifests[path] = manifest
+        return manifest
+
     def _read(self, path: str) -> Table:
         temp = self._temp.get(path)
         if temp is not None:
             return temp
+        if path.endswith(MANIFEST_SUFFIX):
+            return self._read_v2(path, None)
         cached = self._cache.get(path)
         if cached is not None:
             return cached
@@ -260,7 +432,31 @@ class Catalog:
         self._cache.put(path, table, table.nbytes)
         return table
 
+    def _read_v2(
+        self,
+        path: str,
+        columns: list[str] | None,
+        manifest: PartitionManifest | None = None,
+    ) -> Table:
+        """Assemble a table from per-column chunks (cache keyed per chunk)."""
+        if manifest is None:
+            manifest = self._manifest(path)
+        if columns is None:
+            metas = list(manifest.chunks)
+        else:
+            metas = [m for c in columns if (m := manifest.chunk(c)) is not None]
+        data = {}
+        cols = []
+        for meta in metas:
+            arr = self._cache.get(meta.path)
+            if arr is None:
+                arr = decode_column(self._store.read(meta.path))
+                self._cache.put(meta.path, arr, array_nbytes(arr))
+            data[meta.name] = arr
+            cols.append(meta.column)
+        return Table(Schema(cols), data)
+
     @staticmethod
-    def _path(database: str, name: str, partition: str) -> str:
+    def _path_base(database: str, name: str, partition: str) -> str:
         safe = partition.replace("=", "_").replace("/", "_")
-        return f"/warehouse/{database}/{name}/{safe}.npz"
+        return f"/warehouse/{database}/{name}/{safe}"

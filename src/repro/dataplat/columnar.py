@@ -1,0 +1,371 @@
+"""Columnar block format v2: per-column chunks, zone maps, scan pruning.
+
+The v1 on-store format serializes a whole table as one npz file, so every
+read decodes every column of every partition before projection or selection
+can happen.  v2 stores **one addressable chunk per column per partition**:
+
+* string columns are dictionary-encoded (sorted unique values + int32
+  codes),
+* bool columns are bit-packed,
+* int/float columns are raw little-endian bytes,
+* any chunk body is zlib-compressed when that actually shrinks it.
+
+Each chunk carries a **zone map** — ``count`` / ``null_count`` / ``min`` /
+``max`` computed at encode time — written into a per-partition JSON
+manifest.  A scan with pushed-down conjuncts consults the zone maps and
+skips whole partitions whose chunks *provably* contain no matching row.
+Pruning may only ever **skip**, never filter: a kept partition is returned
+in full and the residual predicate is re-evaluated above the scan, so a
+zone-map false positive costs time, never correctness.
+
+The catalog negotiates formats by path: ``*.npz`` partitions decode through
+the v1 whole-table codec, ``*.v2m`` manifests through this module — a table
+may even mix both across partitions.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..errors import StorageError
+from .schema import Column, ColumnType, Schema
+
+#: Current chunked format version (v1 is the whole-table npz codec).
+FORMAT_VERSION = 2
+
+#: Path suffix of a v2 partition manifest in the block store.
+MANIFEST_SUFFIX = ".v2m"
+
+#: Path suffix of one column chunk.
+CHUNK_SUFFIX = ".chunk"
+
+#: Compress a chunk body only when zlib shrinks it below this fraction —
+#: incompressible numeric data then skips the decompress on every read.
+_COMPRESS_RATIO = 0.9
+
+
+def array_nbytes(arr: np.ndarray) -> int:
+    """Decoded size of one column array, string payload included.
+
+    Mirrors :attr:`Table.nbytes` accounting so chunk-level cache budgeting
+    bills object columns for their characters, not 8 bytes per pointer.
+    """
+    total = arr.nbytes
+    if arr.dtype.kind == "O":
+        total += sum(len(str(v)) for v in arr)
+    return total
+
+
+def chunk_dir(manifest_path: str) -> str:
+    """The directory holding a manifest's column chunks (trailing slash)."""
+    if not manifest_path.endswith(MANIFEST_SUFFIX):
+        raise StorageError(f"not a v2 manifest path: {manifest_path!r}")
+    return manifest_path[: -len(MANIFEST_SUFFIX)] + "/"
+
+
+# ----------------------------------------------------------------------
+# Zone maps
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-chunk statistics: row count, null count, min/max of non-nulls.
+
+    ``min``/``max`` are ``None`` when the chunk has no non-null value
+    (empty, or all-NaN float).  Only NaN counts as null — the platform has
+    no other null representation.
+    """
+
+    count: int
+    null_count: int
+    min: Any = None
+    max: Any = None
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "null_count": self.null_count,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ZoneMap":
+        return cls(
+            count=int(data["count"]),
+            null_count=int(data["null_count"]),
+            min=data.get("min"),
+            max=data.get("max"),
+        )
+
+
+def _comparable(bound, value) -> bool:
+    """Whether a zone bound and a predicate literal order consistently."""
+    bound_str = isinstance(bound, str)
+    value_str = isinstance(value, str)
+    return bound_str == value_str
+
+
+@dataclass(frozen=True)
+class ScanPredicate:
+    """One pushed-down conjunct a zone map can be tested against.
+
+    ``op`` is one of ``= <> < <= > >= in``; for ``in``, ``value`` is a
+    tuple of literals.  These describe the *storage-level* view of a SQL
+    conjunct — the full SQL predicate is still evaluated post-scan.
+    """
+
+    column: str
+    op: str
+    value: Any
+
+
+def zone_allows(zone: ZoneMap, pred: ScanPredicate) -> bool:
+    """Whether a chunk with ``zone`` *may* contain a row matching ``pred``.
+
+    Conservative by construction: any doubt (type mismatch, unknown
+    operator, missing stats) returns True.  False means *provably empty*,
+    which is the only case pruning is allowed to act on.
+    """
+    if zone.count == 0:
+        return False
+    lo, hi = zone.min, zone.max
+    if pred.op == "<>":
+        # NaN != literal is True under numpy semantics, so any null row
+        # matches; otherwise only a constant chunk equal to the literal
+        # can be skipped.
+        if zone.null_count > 0:
+            return True
+        return not (lo == hi == pred.value)
+    if lo is None or hi is None:
+        # Only nulls remain, and NaN fails every ordered comparison.
+        return False
+    try:
+        if pred.op == "in":
+            return any(
+                not _comparable(lo, item) or lo <= item <= hi
+                for item in pred.value
+            )
+        if not _comparable(lo, pred.value):
+            return True
+        if pred.op == "=":
+            return lo <= pred.value <= hi
+        if pred.op == "<":
+            return lo < pred.value
+        if pred.op == "<=":
+            return lo <= pred.value
+        if pred.op == ">":
+            return hi > pred.value
+        if pred.op == ">=":
+            return hi >= pred.value
+    except TypeError:
+        return True
+    return True
+
+
+# ----------------------------------------------------------------------
+# Column chunk codec
+# ----------------------------------------------------------------------
+
+
+def _json_scalar(value):
+    """A zone-map bound as a JSON-serializable python scalar."""
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (bool, np.bool_)):
+        return int(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    return float(value)
+
+
+def _maybe_compress(body: bytes) -> tuple[bytes, bool]:
+    packed = zlib.compress(body, 6)
+    if len(packed) < len(body) * _COMPRESS_RATIO:
+        return packed, True
+    return body, False
+
+
+def encode_column(column: Column, arr: np.ndarray) -> tuple[bytes, ZoneMap]:
+    """Encode one column into a self-describing chunk payload + zone map."""
+    n = len(arr)
+    header: dict[str, Any] = {"ctype": column.ctype.value, "rows": n}
+    if column.ctype is ColumnType.STRING:
+        strings = np.asarray([str(v) for v in arr.tolist()], dtype=object)
+        if n:
+            uniq, codes = np.unique(strings, return_inverse=True)
+            values = [str(v) for v in uniq.tolist()]
+            body = codes.astype("<i4").tobytes()
+            zone = ZoneMap(n, 0, values[0], values[-1])
+        else:
+            values, body, zone = [], b"", ZoneMap(0, 0)
+        header["enc"] = "dict"
+        header["dict"] = values
+    elif column.ctype is ColumnType.BOOL:
+        bools = np.asarray(arr, dtype=bool)
+        body = np.packbits(bools).tobytes()
+        header["enc"] = "bitpack"
+        zone = ZoneMap(
+            n,
+            0,
+            int(bools.min()) if n else None,
+            int(bools.max()) if n else None,
+        )
+    else:
+        dtype = "<i8" if column.ctype is ColumnType.INT else "<f8"
+        numeric = np.asarray(arr)
+        body = numeric.astype(dtype, copy=False).tobytes()
+        header["enc"] = "raw"
+        header["dtype"] = dtype
+        if column.ctype is ColumnType.FLOAT:
+            nulls = int(np.isnan(numeric).sum())
+            if n - nulls:
+                zone = ZoneMap(
+                    n,
+                    nulls,
+                    _json_scalar(np.nanmin(numeric)),
+                    _json_scalar(np.nanmax(numeric)),
+                )
+            else:
+                zone = ZoneMap(n, nulls)
+        else:
+            zone = ZoneMap(
+                n,
+                0,
+                int(numeric.min()) if n else None,
+                int(numeric.max()) if n else None,
+            )
+    body, compressed = _maybe_compress(body)
+    header["comp"] = compressed
+    payload = json.dumps(header).encode("utf-8") + b"\n" + body
+    return payload, zone
+
+
+def decode_column(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_column`."""
+    split = payload.index(b"\n")
+    header = json.loads(payload[:split].decode("utf-8"))
+    body = payload[split + 1 :]
+    if header.get("comp"):
+        body = zlib.decompress(body)
+    rows = int(header["rows"])
+    enc = header["enc"]
+    if enc == "dict":
+        values = np.asarray(header["dict"], dtype=object)
+        if rows == 0:
+            return np.empty(0, dtype=object)
+        codes = np.frombuffer(body, dtype="<i4").astype(np.intp)
+        return values[codes]
+    if enc == "bitpack":
+        bits = np.unpackbits(np.frombuffer(body, dtype=np.uint8), count=rows)
+        return bits.astype(bool)
+    if enc == "raw":
+        # Copy: frombuffer views are read-only, and decoded columns must
+        # behave exactly like v1 npz arrays.
+        return np.frombuffer(body, dtype=header["dtype"]).copy()
+    raise StorageError(f"unknown chunk encoding {enc!r}")
+
+
+# ----------------------------------------------------------------------
+# Partition manifests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Manifest entry for one column chunk."""
+
+    name: str
+    ctype: str
+    path: str
+    encoded_bytes: int
+    decoded_bytes: int
+    zone: ZoneMap
+
+    @property
+    def column(self) -> Column:
+        return Column(self.name, ColumnType(self.ctype))
+
+
+@dataclass(frozen=True)
+class PartitionManifest:
+    """Everything a scan needs to know about one v2 partition."""
+
+    rows: int
+    chunks: tuple[ChunkMeta, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_by_name", {c.name: c for c in self.chunks}
+        )
+
+    def chunk(self, name: str) -> ChunkMeta | None:
+        return self._by_name.get(name)
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(c.column for c in self.chunks)
+
+    def to_bytes(self) -> bytes:
+        doc = {
+            "format": FORMAT_VERSION,
+            "rows": self.rows,
+            "columns": [
+                {
+                    "name": c.name,
+                    "ctype": c.ctype,
+                    "path": c.path,
+                    "encoded_bytes": c.encoded_bytes,
+                    "decoded_bytes": c.decoded_bytes,
+                    "zone": c.zone.to_dict(),
+                }
+                for c in self.chunks
+            ],
+        }
+        return json.dumps(doc).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "PartitionManifest":
+        doc = json.loads(payload.decode("utf-8"))
+        version = doc.get("format")
+        if version != FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported columnar format version {version!r} "
+                f"(this build reads v{FORMAT_VERSION})"
+            )
+        chunks = tuple(
+            ChunkMeta(
+                name=c["name"],
+                ctype=c["ctype"],
+                path=c["path"],
+                encoded_bytes=int(c["encoded_bytes"]),
+                decoded_bytes=int(c["decoded_bytes"]),
+                zone=ZoneMap.from_dict(c["zone"]),
+            )
+            for c in doc["columns"]
+        )
+        return cls(rows=int(doc["rows"]), chunks=chunks)
+
+
+def manifest_allows(
+    manifest: PartitionManifest, predicates: list[ScanPredicate]
+) -> bool:
+    """Whether a partition may hold rows satisfying *all* ``predicates``.
+
+    Conjuncts over columns the manifest does not know (projection renames,
+    computed columns) cannot prune.  One provably-empty conjunct is enough
+    to skip the partition, since conjuncts are AND-ed.
+    """
+    for pred in predicates:
+        meta = manifest.chunk(pred.column)
+        if meta is None:
+            continue
+        if not zone_allows(meta.zone, pred):
+            return False
+    return True

@@ -26,9 +26,15 @@ class SQLEngine:
     6.0
     """
 
-    def __init__(self, catalog: Catalog | None = None, database: str = "default") -> None:
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        database: str = "default",
+        scan_pruning: bool = True,
+    ) -> None:
         self._catalog = catalog if catalog is not None else Catalog()
         self._database = database
+        self._scan_pruning = scan_pruning
 
     @property
     def catalog(self) -> Catalog:
@@ -60,7 +66,9 @@ class SQLEngine:
         """Execute a SELECT statement and return the result table."""
         with span("sql.query", sql=sql.strip()[:80]) as sp:
             plan = self.plan(sql)
-            executor = Executor(self._catalog, self._database)
+            executor = Executor(
+                self._catalog, self._database, scan_pruning=self._scan_pruning
+            )
             with span("sql.execute"):
                 out = executor.execute(plan)
             sp.incr("rows", out.num_rows)

@@ -50,11 +50,23 @@ from .plan import (
 
 
 class Executor:
-    """Evaluates logical plans against a :class:`Catalog`."""
+    """Evaluates logical plans against a :class:`Catalog`.
 
-    def __init__(self, catalog: Catalog, database: str = "default") -> None:
+    ``scan_pruning`` forwards the optimizer's storage-level conjuncts to
+    :meth:`Catalog.scan` so zone maps can skip partitions; turning it off
+    (the pruning-parity fuzz harness does) must never change results, only
+    how many chunks get decoded.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        database: str = "default",
+        scan_pruning: bool = True,
+    ) -> None:
         self._catalog = catalog
         self._database = database
+        self._scan_pruning = scan_pruning
 
     def execute(self, plan: PlanNode) -> Table:
         return self._run(plan)
@@ -142,10 +154,13 @@ class Executor:
         database = self._database
         if "." in name:
             database, name = name.split(".", 1)
-        table = self._catalog.load(name, database=database)
-        if node.columns is not None:
-            available = [c for c in node.columns if c in table.schema]
-            table = table.select(available)
+        predicate = list(node.predicate) if self._scan_pruning else None
+        table = self._catalog.scan(
+            name,
+            database=database,
+            columns=node.columns,
+            predicate=predicate or None,
+        )
         return table.rename(
             {c: f"{node.binding}.{c}" for c in table.schema.names}
         )
@@ -168,15 +183,28 @@ class Executor:
             lt = lt.with_column(tmp, lt.column(lk))
         for tmp, rk in zip(tmp_names, right_keys):
             rt = rt.with_column(tmp, rt.column(rk))
+        mark_matched = node.kind == "left" and residual is not None
+        if mark_matched:
+            # The join pads unmatched left rows with fill values, so this
+            # marker comes out False exactly on the null-extended rows.
+            rt = rt.with_column(
+                "__matched__", np.ones(rt.num_rows, dtype=bool)
+            )
         joined = lt.join(rt, on=tmp_names, how=node.kind)
         joined = joined.drop(tmp_names)
         if residual is not None:
             mask = _as_bool(evaluate(residual, joined), residual)
-            if node.kind == "left":
-                # Keep unmatched left rows; only filter genuinely matched ones.
-                joined = joined.mask(mask)
+            if mark_matched:
+                # Keep unmatched left rows; only filter genuinely matched
+                # ones — the residual never saw them, so it cannot reject
+                # them (they would otherwise silently vanish on any
+                # residual their fill values fail).
+                unmatched = ~np.asarray(joined.column("__matched__"))
+                joined = joined.mask(mask | unmatched)
             else:
                 joined = joined.mask(mask)
+        if mark_matched:
+            joined = joined.drop(["__matched__"])
         return joined
 
     def _project(self, node: Project) -> Table:

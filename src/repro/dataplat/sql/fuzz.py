@@ -22,7 +22,7 @@ import math
 import numpy as np
 
 from ...errors import SQLAnalysisError
-from ..schema import Schema
+from ..schema import ColumnType, Schema
 from ..table import Table
 from .ast_nodes import (
     Between,
@@ -235,7 +235,11 @@ def _gen_global_agg_query(rng) -> str:
 
 
 def _gen_join_query(rng) -> str:
-    """Inner equi-join (exercises predicate pushdown through the join)."""
+    """Equi-join, inner or LEFT, optionally with a residual ON conjunct.
+
+    The residual case pins the LEFT JOIN semantics bug class: the residual
+    may only filter *matched* rows, never drop the null-extended ones.
+    """
     items = []
     for _ in range(int(rng.integers(1, 4))):
         items.append(
@@ -243,9 +247,14 @@ def _gen_join_query(rng) -> str:
         )
     distinct = "DISTINCT " if rng.random() < 0.25 else ""
     key = rng.choice(["grp", "id"])
+    kind = "LEFT JOIN" if rng.random() < 0.4 else "JOIN"
+    condition = f"a.{key} = b.{key}"
+    if rng.random() < 0.5:
+        side = rng.choice(["a.", "b."])
+        condition += f" AND {_gen_predicate(rng, depth=1, qualifier=side)}"
     sql = (
         f"SELECT {distinct}{', '.join(_alias(items))} FROM t a "
-        f"JOIN u b ON a.{key} = b.{key}"
+        f"{kind} u b ON {condition}"
     )
     conjuncts = []
     if rng.random() < 0.6:
@@ -458,12 +467,55 @@ def _eval_group_item(expr: Expr, group_keys: tuple, key_exprs: tuple, rows: list
     raise SQLAnalysisError(f"reference cannot evaluate group item {expr!r}")
 
 
+#: Fill values the engine pads unmatched LEFT JOIN right columns with.
+_JOIN_FILL = {
+    ColumnType.STRING: "",
+    ColumnType.BOOL: False,
+    ColumnType.INT: 0,
+    ColumnType.FLOAT: 0.0,
+}
+
+
+def _split_join_condition(
+    condition: Expr, right_binding: str
+) -> tuple[list[Expr], list[Expr]]:
+    """ON conjuncts split into cross-side equalities and residual terms."""
+    equi: list[Expr] = []
+    residual: list[Expr] = []
+
+    def walk(expr: Expr) -> None:
+        if isinstance(expr, BinaryOp) and expr.op == "AND":
+            walk(expr.left)
+            walk(expr.right)
+            return
+        if (
+            isinstance(expr, BinaryOp)
+            and expr.op == "="
+            and isinstance(expr.left, ColumnRef)
+            and isinstance(expr.right, ColumnRef)
+            and expr.left.table is not None
+            and expr.right.table is not None
+            and (expr.left.table == right_binding)
+            != (expr.right.table == right_binding)
+        ):
+            equi.append(expr)
+            return
+        residual.append(expr)
+
+    walk(condition)
+    return equi, residual
+
+
 def reference_query(sql: str, tables: dict[str, Table]) -> list[tuple]:
     """Execute ``sql`` naively over ``tables``; returns rows as tuples.
 
-    Supports the subset :func:`generate_queries` produces: single table or
-    inner equi-joins, WHERE, GROUP BY/HAVING, global aggregates, DISTINCT,
-    and scalar expressions — all evaluated one row at a time.
+    Supports the subset :func:`generate_queries` produces: single table,
+    inner or LEFT equi-joins (with residual ON conjuncts), WHERE, GROUP
+    BY/HAVING, global aggregates, DISTINCT, and scalar expressions — all
+    evaluated one row at a time.  LEFT JOIN mirrors the engine contract:
+    rows match on the cross-side equalities, the residual filters only
+    matched rows, and left rows with no equi-match come back once, their
+    right columns padded with type fill values.
     """
     stmt = parse(sql)
     if not isinstance(stmt, SelectStatement):
@@ -472,14 +524,42 @@ def reference_query(sql: str, tables: dict[str, Table]) -> list[tuple]:
     binding = stmt.table.binding
     rows = _table_rows(tables[stmt.table.name], binding)
     for join in stmt.joins:
-        if join.kind != "inner":
-            raise SQLAnalysisError("reference evaluator joins are inner-only")
         right_rows = _table_rows(tables[join.table.name], join.table.binding)
         joined = []
+        if join.kind == "inner":
+            for left_row in rows:
+                for right_row in right_rows:
+                    merged = {**left_row, **right_row}
+                    if _truthy(_eval_scalar(join.condition, merged)):
+                        joined.append(merged)
+            rows = joined
+            continue
+        if join.kind != "left":
+            raise SQLAnalysisError(
+                f"reference evaluator: unsupported join kind {join.kind!r}"
+            )
+        equi, residual = _split_join_condition(
+            join.condition, join.table.binding
+        )
+        if not equi:
+            raise SQLAnalysisError(
+                "reference evaluator: LEFT JOIN needs an equality key"
+            )
+        pad = {
+            f"{join.table.binding}.{col.name}": _JOIN_FILL[col.ctype]
+            for col in tables[join.table.name].schema
+        }
         for left_row in rows:
+            matches = []
             for right_row in right_rows:
                 merged = {**left_row, **right_row}
-                if _truthy(_eval_scalar(join.condition, merged)):
+                if all(_truthy(_eval_scalar(e, merged)) for e in equi):
+                    matches.append(merged)
+            if not matches:
+                joined.append({**left_row, **pad})
+                continue
+            for merged in matches:
+                if all(_truthy(_eval_scalar(e, merged)) for e in residual):
                     joined.append(merged)
         rows = joined
 

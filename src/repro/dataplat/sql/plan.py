@@ -33,15 +33,30 @@ class PlanNode:
 
 @dataclass
 class Scan(PlanNode):
-    """Read a catalog table; outputs columns qualified by ``binding``."""
+    """Read a catalog table; outputs columns qualified by ``binding``.
+
+    ``predicate`` holds storage-level conjuncts
+    (:class:`~..columnar.ScanPredicate`) the optimizer pushed down for
+    zone-map pruning.  They are advisory: the scan may only *skip* chunks
+    provably empty under them, and the full SQL predicate is still
+    evaluated by the ``Filter`` above, so attaching them never changes
+    results.
+    """
 
     table: str
     binding: str
     columns: tuple[str, ...] | None = None  # None = all columns
+    predicate: tuple = ()  # tuple[ScanPredicate, ...]
 
     def _label(self) -> str:
         cols = "*" if self.columns is None else ",".join(self.columns)
-        return f"Scan({self.table} as {self.binding}, cols=[{cols}])"
+        label = f"Scan({self.table} as {self.binding}, cols=[{cols}])"
+        if self.predicate:
+            preds = " AND ".join(
+                f"{p.column} {p.op} {p.value!r}" for p in self.predicate
+            )
+            label = label[:-1] + f", prune=[{preds}])"
+        return label
 
 
 @dataclass

@@ -7,14 +7,24 @@ feature-engineering workload of wide scans over monthly telco tables:
   the side whose bindings they reference, shrinking join inputs.
 * **Projection pruning** — scans read only the columns any operator above
   them references, which matters for the 140-column BSS tables.
+* **Scan-conjunct attachment** — column-vs-literal conjuncts of a filter
+  sitting directly on a scan are additionally *copied* (never moved) onto
+  the :class:`~.plan.Scan` as storage-level
+  :class:`~..columnar.ScanPredicate` hints, letting the catalog skip v2
+  partitions whose zone maps prove them empty.  The filter stays in place,
+  so pruning is semantically invisible.
 """
 
 from __future__ import annotations
 
+from ..columnar import ScanPredicate
 from .ast_nodes import (
+    Between,
     BinaryOp,
     ColumnRef,
     Expr,
+    InList,
+    Literal,
     OrderItem,
     SelectStatement,
     Star,
@@ -84,6 +94,7 @@ def optimize(plan: PlanNode) -> PlanNode:
     """Apply the rewrite rules until a fixed point (max two passes needed)."""
     plan = _push_down_predicates(plan)
     plan = _prune_projections(plan, required=set())
+    plan = _attach_scan_predicates(plan)
     return plan
 
 
@@ -285,5 +296,130 @@ def _prune_projections(node: PlanNode, required: set[str] | None = None) -> Plan
         # Each branch has its own projection; prune independently.
         return UnionAll(
             tuple(_prune_projections(c, set()) for c in node.inputs)
+        )
+    return node
+
+
+# ----------------------------------------------------------------------
+# Scan-conjunct attachment (zone-map pruning hints)
+# ----------------------------------------------------------------------
+
+#: Comparison operators mirrored when the literal sits on the left.
+_FLIP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _scan_column(ref: ColumnRef, binding: str) -> str | None:
+    """Storage-level column name of a ref against one scan, else None."""
+    if ref.table is not None and ref.table != binding:
+        return None
+    return ref.name
+
+
+def _as_scan_predicate(term: Expr, binding: str) -> ScanPredicate | None:
+    """One WHERE conjunct as a storage predicate, or None if not pushable.
+
+    Only column-vs-literal shapes convert; anything else (functions,
+    column-vs-column, OR trees, negated IN/BETWEEN, NULL literals whose
+    NaN comparison semantics zone maps cannot mirror) stays residual-only.
+    """
+    if isinstance(term, BinaryOp) and term.op in _FLIP:
+        if isinstance(term.left, ColumnRef) and isinstance(term.right, Literal):
+            ref, op, value = term.left, term.op, term.right.value
+        elif isinstance(term.left, Literal) and isinstance(term.right, ColumnRef):
+            ref, op, value = term.right, _FLIP[term.op], term.left.value
+        else:
+            return None
+        if value is None or isinstance(value, bool):
+            # NULL compares as NaN; bools reach zone maps as ints via the
+            # IN path only, where numpy's bool/int equivalence is explicit.
+            value = int(value) if isinstance(value, bool) else None
+        if value is None:
+            return None
+        column = _scan_column(ref, binding)
+        if column is None:
+            return None
+        return ScanPredicate(column, op, value)
+    if isinstance(term, InList) and not term.negated:
+        if not isinstance(term.operand, ColumnRef):
+            return None
+        column = _scan_column(term.operand, binding)
+        if column is None:
+            return None
+        values = []
+        for item in term.items:
+            if not isinstance(item, Literal) or item.value is None:
+                return None
+            value = item.value
+            values.append(int(value) if isinstance(value, bool) else value)
+        return ScanPredicate(column, "in", tuple(values))
+    return None
+
+
+def _between_predicates(term: Expr, binding: str) -> list[ScanPredicate]:
+    """``x BETWEEN lo AND hi`` as a >=/<= pair (empty when not pushable)."""
+    if not (isinstance(term, Between) and not term.negated):
+        return []
+    if not isinstance(term.operand, ColumnRef):
+        return []
+    column = _scan_column(term.operand, binding)
+    if column is None:
+        return []
+    out = []
+    for bound, op in ((term.low, ">="), (term.high, "<=")):
+        if (
+            isinstance(bound, Literal)
+            and bound.value is not None
+            and not isinstance(bound.value, bool)
+            and not isinstance(bound.value, str)
+        ):
+            # The executor evaluates BETWEEN in float space, so string
+            # bounds would raise there; never let them prune first.
+            out.append(ScanPredicate(column, op, bound.value))
+    return out
+
+
+def _attach_scan_predicates(node: PlanNode) -> PlanNode:
+    if isinstance(node, Filter) and isinstance(node.child, Scan):
+        scan = node.child
+        preds: list[ScanPredicate] = []
+        for term in _split_conjuncts(node.predicate):
+            pred = _as_scan_predicate(term, scan.binding)
+            if pred is not None:
+                preds.append(pred)
+            else:
+                preds.extend(_between_predicates(term, scan.binding))
+        if preds:
+            return Filter(
+                Scan(scan.table, scan.binding, scan.columns, tuple(preds)),
+                node.predicate,
+            )
+        return node
+    if isinstance(node, Filter):
+        return Filter(_attach_scan_predicates(node.child), node.predicate)
+    if isinstance(node, Join):
+        return Join(
+            _attach_scan_predicates(node.left),
+            _attach_scan_predicates(node.right),
+            node.kind,
+            node.condition,
+        )
+    if isinstance(node, Project):
+        return Project(_attach_scan_predicates(node.child), node.items)
+    if isinstance(node, Aggregate):
+        return Aggregate(
+            _attach_scan_predicates(node.child),
+            node.group_by,
+            node.items,
+            node.having,
+        )
+    if isinstance(node, Sort):
+        return Sort(_attach_scan_predicates(node.child), node.order_by)
+    if isinstance(node, Limit):
+        return Limit(_attach_scan_predicates(node.child), node.count)
+    if isinstance(node, Distinct):
+        return Distinct(_attach_scan_predicates(node.child))
+    if isinstance(node, UnionAll):
+        return UnionAll(
+            tuple(_attach_scan_predicates(c) for c in node.inputs)
         )
     return node

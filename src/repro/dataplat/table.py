@@ -256,24 +256,7 @@ class Table:
         if how not in ("inner", "left"):
             raise SchemaError(f"unsupported join type: {how!r}")
         on = list(on)
-        left_keys = _key_ids(self, on)
-        right_keys = _key_ids(other, on)
-
-        # Hash-join: bucket right rows by key.
-        buckets: dict[Any, list[int]] = {}
-        for idx, key in enumerate(right_keys):
-            buckets.setdefault(key, []).append(idx)
-
-        left_idx: list[int] = []
-        right_idx: list[int] = []
-        unmatched: list[int] = []
-        for idx, key in enumerate(left_keys):
-            matches = buckets.get(key)
-            if matches:
-                left_idx.extend([idx] * len(matches))
-                right_idx.extend(matches)
-            elif how == "left":
-                unmatched.append(idx)
+        li, ri, ui = _join_indices(self, other, on, how)
 
         right_cols = [c for c in other.schema if c.name not in set(on)]
         out_cols = list(self._schema.columns)
@@ -286,9 +269,6 @@ class Table:
             out_cols.append(Column(name, col.ctype))
         out_schema = Schema(out_cols)
 
-        li = np.asarray(left_idx, dtype=np.intp)
-        ri = np.asarray(right_idx, dtype=np.intp)
-        ui = np.asarray(unmatched, dtype=np.intp)
         data: dict[str, np.ndarray] = {}
         for name in self._schema.names:
             matched = self._data[name][li]
@@ -384,6 +364,103 @@ def _key_ids(table: Table, on: Sequence[str]) -> list:
     if len(arrays) == 1:
         return arrays[0].tolist()
     return list(zip(*(a.tolist() for a in arrays)))
+
+
+def _join_codes(
+    left: Table, right: Table, on: Sequence[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared dense key codes for both sides of an equi-join.
+
+    Factorizes each key column over the *concatenation* of the two sides
+    so equal keys get equal codes regardless of side, combining multiple
+    keys mixed-radix and re-densifying.  ``equal_nan=False`` keeps the
+    hash-path semantics: NaN keys never match anything, themselves
+    included.
+    """
+    n_left = left.num_rows
+    combined: np.ndarray | None = None
+    for name in on:
+        both = np.concatenate([left.column(name), right.column(name)])
+        uniq, codes = np.unique(both, return_inverse=True, equal_nan=False)
+        codes = codes.astype(np.int64, copy=False)
+        if combined is None:
+            combined = codes
+        else:
+            combined = combined * (len(uniq) + 1) + codes
+            _, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64, copy=False)
+    assert combined is not None
+    return combined[:n_left], combined[n_left:]
+
+
+def _join_indices_hashed(
+    left: Table, right: Table, on: Sequence[str], how: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference dict-bucket join (row order the vectorized path must match)."""
+    left_keys = _key_ids(left, on)
+    right_keys = _key_ids(right, on)
+    buckets: dict[Any, list[int]] = {}
+    for idx, key in enumerate(right_keys):
+        buckets.setdefault(key, []).append(idx)
+    left_idx: list[int] = []
+    right_idx: list[int] = []
+    unmatched: list[int] = []
+    for idx, key in enumerate(left_keys):
+        matches = buckets.get(key)
+        if matches:
+            left_idx.extend([idx] * len(matches))
+            right_idx.extend(matches)
+        elif how == "left":
+            unmatched.append(idx)
+    return (
+        np.asarray(left_idx, dtype=np.intp),
+        np.asarray(right_idx, dtype=np.intp),
+        np.asarray(unmatched, dtype=np.intp),
+    )
+
+
+def _join_indices(
+    left: Table, right: Table, on: Sequence[str], how: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row indices realizing an equi-join: (left, right, unmatched-left).
+
+    Vectorized: factorize keys to shared codes, group right rows per code
+    with a stable argsort, then expand each left row against its code's
+    run.  Matched pairs come out ordered by left row, ties by right row —
+    bit-identical to :func:`_join_indices_hashed`, which remains the
+    fallback for key columns numpy cannot sort together (e.g. a numeric
+    column joined against strings; such keys never match anyway).
+    """
+    if not on:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty, empty
+    try:
+        left_codes, right_codes = _join_codes(left, right, on)
+    except TypeError:
+        return _join_indices_hashed(left, right, on, how)
+    n_codes = int(
+        max(
+            left_codes.max(initial=-1), right_codes.max(initial=-1)
+        )
+    ) + 1
+    counts = np.bincount(right_codes, minlength=n_codes)
+    order = np.argsort(right_codes, kind="stable")
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1])) if n_codes else (
+        np.empty(0, dtype=np.int64)
+    )
+    reps = counts[left_codes]
+    ends = np.cumsum(reps)
+    total = int(ends[-1]) if len(ends) else 0
+    li = np.repeat(np.arange(left.num_rows, dtype=np.intp), reps)
+    within = np.arange(total, dtype=np.int64) - np.repeat(ends - reps, reps)
+    ri = order[np.repeat(starts[left_codes], reps) + within].astype(
+        np.intp, copy=False
+    )
+    if how == "left":
+        ui = np.flatnonzero(reps == 0).astype(np.intp, copy=False)
+    else:
+        ui = np.empty(0, dtype=np.intp)
+    return li, ri, ui
 
 
 def _fill_value(ctype: ColumnType):

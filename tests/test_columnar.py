@@ -1,0 +1,316 @@
+"""Columnar v2 format: chunk codec, zone maps, and catalog scan pruning."""
+
+import numpy as np
+import pytest
+
+from repro.dataplat.blockstore import BlockStore
+from repro.dataplat.catalog import Catalog
+from repro.dataplat.columnar import (
+    MANIFEST_SUFFIX,
+    PartitionManifest,
+    ScanPredicate,
+    ZoneMap,
+    chunk_dir,
+    decode_column,
+    encode_column,
+    manifest_allows,
+    zone_allows,
+)
+from repro.dataplat.schema import Column, ColumnType, Schema
+from repro.dataplat.table import Table
+from repro.errors import CatalogError, StorageError
+
+
+class TestChunkCodec:
+    @pytest.mark.parametrize(
+        "ctype, arr",
+        [
+            ("int", np.arange(-50, 50, dtype=np.int64)),
+            ("float", np.linspace(-2.0, 2.0, 64)),
+            ("bool", np.array([True, False, True, True, False])),
+            (
+                "string",
+                np.asarray(
+                    ["alpha", "", "beta", "alpha", "gamma"], dtype=object
+                ),
+            ),
+        ],
+    )
+    def test_round_trip(self, ctype, arr):
+        col = Column("c", ColumnType(ctype))
+        payload, zone = encode_column(col, arr)
+        out = decode_column(payload)
+        assert zone.count == len(arr)
+        if ctype == "string":
+            assert out.tolist() == [str(v) for v in arr.tolist()]
+        else:
+            assert np.array_equal(out, np.asarray(arr))
+
+    def test_round_trip_empty(self):
+        for ctype in ("int", "float", "bool", "string"):
+            col = Column("c", ColumnType(ctype))
+            dtype = {"string": object, "bool": bool}.get(ctype, np.float64)
+            payload, zone = encode_column(col, np.empty(0, dtype=dtype))
+            assert zone == ZoneMap(0, 0)
+            assert len(decode_column(payload)) == 0
+
+    def test_decoded_arrays_writable(self):
+        col = Column("c", ColumnType.FLOAT)
+        payload, _ = encode_column(col, np.ones(8))
+        out = decode_column(payload)
+        out[0] = 5.0  # frombuffer views are read-only; decode must copy
+
+    def test_dictionary_shrinks_repetitive_strings(self):
+        col = Column("c", ColumnType.STRING)
+        arr = np.asarray(["longvaluehere"] * 1000, dtype=object)
+        payload, _ = encode_column(col, arr)
+        assert len(payload) < 1000  # codes compress; dict stored once
+
+    def test_float_zone_ignores_nan(self):
+        col = Column("c", ColumnType.FLOAT)
+        _, zone = encode_column(col, np.array([np.nan, 2.0, -1.0, np.nan]))
+        assert zone == ZoneMap(4, 2, -1.0, 2.0)
+
+    def test_all_nan_zone_has_no_bounds(self):
+        col = Column("c", ColumnType.FLOAT)
+        _, zone = encode_column(col, np.array([np.nan, np.nan]))
+        assert zone == ZoneMap(2, 2, None, None)
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(StorageError):
+            decode_column(b'{"enc": "wat", "rows": 1, "comp": false}\n??')
+
+
+class TestZoneAllows:
+    def test_empty_chunk_never_matches(self):
+        zone = ZoneMap(0, 0)
+        assert not zone_allows(zone, ScanPredicate("c", "=", 1))
+
+    @pytest.mark.parametrize(
+        "op, value, expected",
+        [
+            ("=", 5, True),
+            ("=", 11, False),
+            ("=", -1, False),
+            ("<", 1, True),
+            ("<", 0, False),
+            ("<=", 0, True),
+            (">", 9, True),
+            (">", 10, False),
+            (">=", 10, True),
+            ("in", (11, 12), False),
+            ("in", (11, 3), True),
+        ],
+    )
+    def test_range_ops(self, op, value, expected):
+        zone = ZoneMap(10, 0, 0, 10)  # values span [0, 10]
+        assert zone_allows(zone, ScanPredicate("c", op, value)) is expected
+
+    def test_not_equal_prunes_only_constant_chunks(self):
+        constant = ZoneMap(5, 0, 3, 3)
+        spread = ZoneMap(5, 0, 3, 7)
+        assert not zone_allows(constant, ScanPredicate("c", "<>", 3))
+        assert zone_allows(constant, ScanPredicate("c", "<>", 4))
+        assert zone_allows(spread, ScanPredicate("c", "<>", 3))
+
+    def test_not_equal_with_nulls_never_prunes(self):
+        # NaN != literal is True under numpy, so null rows always match <>.
+        zone = ZoneMap(5, 2, 3, 3)
+        assert zone_allows(zone, ScanPredicate("c", "<>", 3))
+
+    def test_all_null_chunk_fails_ordered_ops(self):
+        zone = ZoneMap(4, 4, None, None)
+        for op in ("=", "<", "<=", ">", ">="):
+            assert not zone_allows(zone, ScanPredicate("c", op, 1))
+
+    def test_type_mismatch_is_conservative(self):
+        zone = ZoneMap(5, 0, "alpha", "beta")
+        assert zone_allows(zone, ScanPredicate("c", "=", 3))
+        assert zone_allows(zone, ScanPredicate("c", "in", (3, "alpha")))
+
+    def test_string_bounds(self):
+        zone = ZoneMap(5, 0, "beta", "delta")
+        assert zone_allows(zone, ScanPredicate("c", "=", "cat"))
+        assert not zone_allows(zone, ScanPredicate("c", "=", "zebra"))
+
+    def test_manifest_unknown_column_cannot_prune(self):
+        catalog = Catalog()
+        catalog.save(Table.from_arrays(x=np.arange(4)), "t")
+        path = "/warehouse/default/t/__all__" + MANIFEST_SUFFIX
+        manifest = PartitionManifest.from_bytes(catalog.store.read(path))
+        assert manifest_allows(manifest, [ScanPredicate("nope", "=", 1)])
+        assert not manifest_allows(manifest, [ScanPredicate("x", ">", 99)])
+
+
+class TestManifest:
+    def test_round_trip(self):
+        catalog = Catalog()
+        table = Table.from_arrays(
+            a=np.arange(6), b=np.linspace(0, 1, 6)
+        )
+        catalog.save(table, "t")
+        path = "/warehouse/default/t/__all__" + MANIFEST_SUFFIX
+        manifest = PartitionManifest.from_bytes(catalog.store.read(path))
+        round_tripped = PartitionManifest.from_bytes(manifest.to_bytes())
+        assert round_tripped == manifest
+        assert round_tripped.rows == 6
+        assert round_tripped.schema == table.schema
+
+    def test_future_version_rejected(self):
+        with pytest.raises(StorageError):
+            PartitionManifest.from_bytes(
+                b'{"format": 99, "rows": 0, "columns": []}'
+            )
+
+    def test_chunk_dir_requires_manifest_path(self):
+        assert chunk_dir("/warehouse/d/t/p.v2m") == "/warehouse/d/t/p/"
+        with pytest.raises(StorageError):
+            chunk_dir("/warehouse/d/t/p.npz")
+
+
+@pytest.fixture()
+def months_catalog():
+    """Six month partitions with disjoint month zone maps."""
+    catalog = Catalog()
+    rng = np.random.default_rng(3)
+    for month in range(1, 7):
+        table = Table.from_arrays(
+            month=np.full(50, month, dtype=np.int64),
+            imsi=np.arange(50, dtype=np.int64),
+            dur=rng.normal(size=50),
+            plan=np.asarray(
+                rng.choice(["gold", "silver"], size=50), dtype=object
+            ),
+        )
+        catalog.save(table, "cdr", partition=f"month={month}")
+    return catalog
+
+
+class TestCatalogScan:
+    def test_projection_only_decodes_requested_chunks(self, months_catalog):
+        catalog = months_catalog
+        out = catalog.scan("cdr", columns=["dur", "month"])
+        assert out.schema.names == ("dur", "month")
+        assert out.num_rows == 300
+        health = catalog.store.health
+        assert health.chunks_skipped == 6 * 2  # imsi + plan per partition
+        assert health.bytes_decoded_saved > 0
+
+    def test_predicate_prunes_partitions(self, months_catalog):
+        catalog = months_catalog
+        out = catalog.scan(
+            "cdr",
+            columns=["imsi", "dur"],
+            predicate=[ScanPredicate("month", "=", 3)],
+        )
+        assert out.num_rows == 50  # only month=3 survives
+        assert catalog.store.health.partitions_pruned == 5
+
+    def test_pruning_never_filters_kept_partitions(self, months_catalog):
+        # month >= 5 keeps partitions 5 and 6 whole; rows are NOT filtered
+        # by the scan (the SQL layer's Filter does that).
+        out = months_catalog.scan(
+            "cdr", predicate=[ScanPredicate("month", ">=", 5)]
+        )
+        assert out.num_rows == 100
+
+    def test_all_pruned_returns_empty_with_schema(self, months_catalog):
+        out = months_catalog.scan(
+            "cdr",
+            columns=["imsi"],
+            predicate=[ScanPredicate("month", ">", 99)],
+        )
+        assert out.num_rows == 0
+        assert out.schema.names == ("imsi",)
+
+    def test_scan_without_arguments_equals_load(self, months_catalog):
+        assert months_catalog.scan("cdr") == months_catalog.load("cdr")
+
+    def test_string_predicate_conservative(self, months_catalog):
+        # Every partition has both plans; nothing prunable.
+        out = months_catalog.scan(
+            "cdr", predicate=[ScanPredicate("plan", "=", "gold")]
+        )
+        assert out.num_rows == 300
+        assert months_catalog.store.health.partitions_pruned == 0
+
+
+class TestFormatNegotiation:
+    def test_v1_partitions_still_readable(self):
+        catalog = Catalog(default_format="v1")
+        table = Table.from_arrays(x=np.arange(5), s=np.asarray(
+            ["a", "b", "c", "d", "e"], dtype=object
+        ))
+        catalog.save(table, "t")
+        assert catalog.store.exists("/warehouse/default/t/__all__.npz")
+        assert catalog.load("t") == table
+        assert catalog.scan("t", columns=["s"]) == table.select(["s"])
+
+    def test_mixed_format_partitions(self):
+        catalog = Catalog()
+        t1 = Table.from_arrays(m=np.full(3, 1), v=np.arange(3) * 1.0)
+        t2 = Table.from_arrays(m=np.full(3, 2), v=np.arange(3) * 2.0)
+        catalog.save(t1, "t", partition="m=1", format="v1")
+        catalog.save(t2, "t", partition="m=2", format="v2")
+        assert catalog.load("t").num_rows == 6
+        # Pruning skips the v2 partition; the v1 one is format-blind.
+        out = catalog.scan("t", predicate=[ScanPredicate("m", "=", 1)])
+        assert out.num_rows == 3
+        assert catalog.store.health.partitions_pruned == 1
+
+    def test_save_format_switch_deletes_stale_files(self):
+        catalog = Catalog()
+        table = Table.from_arrays(x=np.arange(4))
+        catalog.save(table, "t", format="v1")
+        catalog.save(table, "t", format="v2")
+        assert not catalog.store.exists("/warehouse/default/t/__all__.npz")
+        catalog.save(table, "t", format="v1")
+        assert not catalog.store.exists(
+            "/warehouse/default/t/__all__" + MANIFEST_SUFFIX
+        )
+        assert catalog.load("t") == table
+
+    def test_drop_removes_all_chunk_files(self):
+        store = BlockStore()
+        catalog = Catalog(store)
+        catalog.save(Table.from_arrays(x=np.arange(4), y=np.arange(4)), "t")
+        catalog.drop("t")
+        assert store.total_bytes == 0
+        assert store.list_files("/warehouse/") == []
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(CatalogError):
+            Catalog(default_format="v3")
+        with pytest.raises(CatalogError):
+            Catalog().save(Table.from_arrays(x=np.arange(2)), "t", format="v9")
+
+
+class TestChunkCache:
+    def test_cache_keys_are_chunk_paths(self):
+        catalog = Catalog()
+        catalog.save(
+            Table.from_arrays(a=np.arange(4), b=np.arange(4) * 2.0), "t"
+        )
+        assert "/warehouse/default/t/__all__/a.chunk" in catalog.table_cache
+        assert "/warehouse/default/t/__all__/b.chunk" in catalog.table_cache
+
+    def test_projection_scan_only_warms_requested_chunks(self):
+        catalog = Catalog()
+        catalog.save(
+            Table.from_arrays(a=np.arange(4), b=np.arange(4) * 2.0), "t"
+        )
+        catalog.clear_cache()
+        catalog.scan("t", columns=["a"])
+        assert "/warehouse/default/t/__all__/a.chunk" in catalog.table_cache
+        assert "/warehouse/default/t/__all__/b.chunk" not in catalog.table_cache
+
+    def test_chunk_corruption_invalidates_only_that_chunk(self):
+        catalog = Catalog()
+        table = Table.from_arrays(a=np.arange(4), b=np.arange(4) * 2.0)
+        catalog.save(table, "t")
+        path = "/warehouse/default/t/__all__/a.chunk"
+        status = catalog.store.status(path)
+        catalog.store.corrupt_block(path, 0, status.blocks[0].replicas[0])
+        assert path not in catalog.table_cache
+        assert "/warehouse/default/t/__all__/b.chunk" in catalog.table_cache
+        assert catalog.load("t") == table  # replica heals the read

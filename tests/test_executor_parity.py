@@ -259,10 +259,11 @@ class TestCatalogCache:
         catalog.save(table, "t")
         catalog.clear_cache()
         before = catalog.store.health.cache_hits
-        catalog.load("t")  # cold: decode, then cache
+        catalog.load("t")  # cold: decode both column chunks, then cache
         catalog.load("t")  # warm
         catalog.load("t")
-        assert catalog.store.health.cache_hits - before == 2
+        # v2 caches per column chunk: 2 warm loads x 2 columns.
+        assert catalog.store.health.cache_hits - before == 4
         assert catalog.store.health.cache_hit_rate > 0
 
     def test_overwrite_refreshes_cache(self, table):
@@ -277,7 +278,7 @@ class TestCatalogCache:
         catalog = Catalog()
         catalog.save(table, "t")
         catalog.load("t")
-        path = "/warehouse/default/t/__all__.npz"
+        path = "/warehouse/default/t/__all__/imsi.chunk"
         assert path in catalog.table_cache
         status = catalog.store.status(path)
         catalog.store.corrupt_block(path, 0, status.blocks[0].replicas[0])
@@ -290,7 +291,7 @@ class TestCatalogCache:
         catalog.save(table, "t")
         catalog.load("t")
         catalog.drop("t")
-        assert "/warehouse/default/t/__all__.npz" not in catalog.table_cache
+        assert "/warehouse/default/t/__all__/imsi.chunk" not in catalog.table_cache
 
     def test_temp_views_survive_clear_cache(self, table):
         catalog = Catalog()

@@ -180,6 +180,33 @@ class TestJoins:
         )
         assert out["imsi"].tolist() == [2]
 
+    def test_left_join_residual_keeps_unmatched_rows(self, engine):
+        """Regression: a residual ON conjunct must not drop the
+        null-extended rows a LEFT JOIN exists to keep.
+
+        imsi=4 has no users match and must survive any residual; imsi=3
+        matches but fails ``u.age < 45`` and is dropped (engine contract:
+        the residual filters matched rows only).
+        """
+        out = engine.query(
+            "SELECT c.imsi, u.age FROM cdr c "
+            "LEFT JOIN users u ON c.imsi = u.imsi AND u.age < 45 "
+            "ORDER BY c.imsi"
+        )
+        assert out["imsi"].tolist() == [1, 2, 4]
+        assert out["age"].tolist() == [30, 40, 0]
+
+    def test_left_join_residual_over_left_column(self, engine):
+        out = engine.query(
+            "SELECT c.imsi, u.age FROM cdr c "
+            "LEFT JOIN users u ON c.imsi = u.imsi AND c.dur > 8 "
+            "ORDER BY c.imsi"
+        )
+        # imsi 1, 2 match and pass; imsi 3 matches but dur=5 fails the
+        # residual; imsi 4 never matched and keeps its padded row.
+        assert out["imsi"].tolist() == [1, 2, 4]
+        assert out["age"].tolist() == [30, 40, 0]
+
     def test_join_without_equality_raises(self, engine):
         with pytest.raises(SQLAnalysisError):
             engine.query("SELECT * FROM users u JOIN cdr c ON u.age > c.dur")

@@ -255,3 +255,64 @@ class TestSerialization:
     def test_round_trip_preserves_types(self, sample):
         out = Table.from_bytes(sample.to_bytes())
         assert out.schema == sample.schema
+
+
+class TestJoinVectorizedParity:
+    """The np.unique-based join must be bit-identical to the dict-bucket
+    path it replaced — same pairs, same row order, same unmatched set."""
+
+    @staticmethod
+    def _random_tables(rng, trial):
+        nl, nr = rng.integers(1, 40, size=2)
+        kind = trial % 3
+        if kind == 0:
+            kl = rng.integers(0, 8, size=nl)
+            kr = rng.integers(0, 8, size=nr)
+        elif kind == 1:
+            kl = rng.choice([0.25, 1.5, np.nan, 3.0], size=nl)
+            kr = rng.choice([0.25, 1.5, np.nan, 3.0], size=nr)
+        else:
+            kl = np.asarray(rng.choice(list("abcde"), size=nl), dtype=object)
+            kr = np.asarray(rng.choice(list("abcde"), size=nr), dtype=object)
+        left = Table.from_arrays(
+            k=kl, k2=rng.integers(0, 3, size=nl), lv=rng.normal(size=nl)
+        )
+        right = Table.from_arrays(
+            k=kr, k2=rng.integers(0, 3, size=nr), rv=rng.normal(size=nr)
+        )
+        return left, right
+
+    def test_indices_match_hashed_reference(self):
+        from repro.dataplat.table import _join_indices, _join_indices_hashed
+
+        rng = np.random.default_rng(7)
+        for trial in range(200):
+            left, right = self._random_tables(rng, trial)
+            on = ["k"] if trial % 2 else ["k", "k2"]
+            how = "left" if trial % 4 < 2 else "inner"
+            got = _join_indices(left, right, on, how)
+            want = _join_indices_hashed(left, right, on, how)
+            for g, w in zip(got, want):
+                assert np.array_equal(g, w), (trial, on, how)
+
+    def test_nan_keys_never_match(self):
+        left = Table.from_arrays(
+            k=np.array([np.nan, 1.0]), lv=np.array([10.0, 20.0])
+        )
+        right = Table.from_arrays(
+            k=np.array([np.nan, 1.0]), rv=np.array([1.0, 2.0])
+        )
+        out = left.join(right, on=["k"], how="left")
+        # Row 0 (NaN key) is unmatched -> padded; row 1 matches.
+        assert out["rv"].tolist() == [2.0, 0.0]
+
+    def test_mixed_type_keys_fall_back(self):
+        # numpy cannot sort ints against strings; the dict fallback keeps
+        # the old "never matches" behavior instead of raising.
+        left = Table.from_arrays(k=np.array([1, 2]), lv=np.array([1.0, 2.0]))
+        right = Table.from_arrays(
+            k=np.asarray(["1", "2"], dtype=object), rv=np.array([9.0, 8.0])
+        )
+        out = left.join(right, on=["k"], how="left")
+        assert out.num_rows == 2
+        assert out["rv"].tolist() == [0.0, 0.0]
