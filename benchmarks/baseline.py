@@ -49,10 +49,14 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_micro.json"
 
 #: Bump when the BENCH_micro.json layout changes, so downstream dashboards
 #: and the CI diff job can refuse to compare incompatible files.
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 #: Telemetry sinking must stay below this fraction of window wall time.
 SINK_BUDGET = 0.05
+
+#: Journaled writes must cost at most this fraction over the direct path
+#: (gated by ``scripts/check_bench_regression.py``).
+JOURNAL_BUDGET = 0.10
 
 
 def _git_sha() -> str:
@@ -334,6 +338,60 @@ def bench_telemetry_sink(world, scale, quick: bool):
     }
 
 
+def bench_recovery(quick: bool, repeats: int):
+    """Journal overhead on the write path, and crash-recovery latency.
+
+    ``journal_overhead_ratio`` is the fractional cost of the full commit
+    protocol (staging, intent/commit records, fsync barriers, publish
+    renames) over the direct pre-journal write path, on column-encode-
+    dominated payloads; the ≤10 % budget is gated in CI.  ``open_s`` is a
+    clean ``Catalog.open`` (recovery scan included) over a 50-partition
+    warehouse — the price every process pays at startup.
+    """
+    from repro.dataplat.blockstore import BlockStore
+    from repro.dataplat.journal import Durability
+
+    rng = np.random.default_rng(7)
+    rows = 20_000 if quick else 100_000
+    table = Table.from_arrays(
+        imsi=np.arange(rows, dtype=np.int64),
+        dur=rng.integers(0, 3600, size=rows),
+        bytes_up=rng.normal(size=rows),
+    )
+    partitions = 6 if quick else 12
+
+    def write_all(durability: Durability) -> None:
+        catalog = Catalog(store=BlockStore(), durability=durability)
+        for month in range(partitions):
+            catalog.save(table, "calls", partition=f"month={month}")
+
+    direct = _median_time(lambda: write_all(Durability.disabled()), repeats)
+    journaled = _median_time(lambda: write_all(Durability()), repeats)
+    overhead = (
+        (journaled - direct) / direct if direct > 0 else float("inf")
+    )
+
+    recovery_partitions = 50
+    small = Table.from_arrays(
+        imsi=np.arange(2_000, dtype=np.int64),
+        dur=rng.integers(0, 3600, size=2_000),
+    )
+    store = BlockStore()
+    warm = Catalog(store=store)
+    for i in range(recovery_partitions):
+        warm.save(small, "history", partition=f"month={i}")
+    open_s = _median_time(lambda: Catalog.open(store), repeats)
+
+    return {
+        "direct_s": direct,
+        "journaled_s": journaled,
+        "journal_overhead_ratio": overhead,
+        "budget": JOURNAL_BUDGET,
+        "recovery_partitions": recovery_partitions,
+        "open_s": open_s,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -370,6 +428,7 @@ def main(argv=None) -> int:
     columnar = bench_columnar_scan(args.quick, repeats)
     tracing = bench_tracing_overhead(args.quick, repeats)
     telemetry_sink = bench_telemetry_sink(world, scale, args.quick)
+    recovery = bench_recovery(args.quick, repeats)
     pool.close()
 
     result = {
@@ -394,6 +453,7 @@ def main(argv=None) -> int:
         "columnar_scan": columnar,
         "tracing": tracing,
         "telemetry_sink": telemetry_sink,
+        "recovery": recovery,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(result, indent=2) + "\n")

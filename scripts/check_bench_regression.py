@@ -72,7 +72,24 @@ def main(argv=None) -> int:
         f"columnar_scan speedup: current {cur:.2f}x, committed {base:.2f}x, "
         f"floor {floor:.2f}x -> {verdict}"
     )
-    return 0 if cur >= floor else 1
+    failed = cur < floor
+
+    recovery = current.get("recovery")
+    if recovery is None:
+        print("current file has no recovery section", file=sys.stderr)
+        return 2
+    overhead = float(recovery["journal_overhead_ratio"])
+    budget = float(recovery.get("budget", 0.10))
+    over = overhead > budget
+    print(
+        f"journal write overhead: {overhead:+.1%} vs {budget:.0%} budget "
+        f"-> {'REGRESSION' if over else 'OK'} "
+        f"(recovery open of {recovery.get('recovery_partitions', '?')} "
+        f"partitions: {float(recovery.get('open_s', 0)) * 1e3:.1f} ms)"
+    )
+    failed = failed or over
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

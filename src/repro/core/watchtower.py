@@ -36,7 +36,13 @@ from dataclasses import dataclass
 from ..dataplat.telemetry import TelemetrySink, TelemetryWarehouse
 from ..errors import ExperimentError
 
-__all__ = ["AlertRule", "Alert", "Watchtower", "SEVERITIES"]
+__all__ = [
+    "AlertRule",
+    "Alert",
+    "Watchtower",
+    "SEVERITIES",
+    "recovery_rules",
+]
 
 #: Alert tiers, least to most urgent.
 SEVERITIES = ("info", "warn", "page")
@@ -122,6 +128,47 @@ class Alert:
             f"[{self.severity.upper():<4}] window {self.window} "
             f"{self.rule}: {self.message}"
         )
+
+
+def recovery_rules() -> tuple[AlertRule, ...]:
+    """Stock rules over the ``recovery.*`` counters the catalog emits.
+
+    A scenario run is expected to open its catalog cleanly; any window
+    where crash recovery actually replayed, rolled back or lost a
+    transaction means the previous process died mid-commit — that pages.
+    Orphan chunks swept during recovery are benign on their own (the
+    crashed transaction's staging files) but worth a warning trail.
+
+    The counters land in ``__telemetry.metrics`` via
+    :meth:`~repro.dataplat.telemetry.TelemetryWarehouse.record_recovery`.
+    """
+    work = "('recovery.replayed', 'recovery.rolled_back', 'recovery.lost_commits', 'recovery.torn_records')"
+    return (
+        AlertRule(
+            name="unexpected-crash-recovery",
+            sql=(
+                "SELECT window, SUM(value) AS value FROM __telemetry.metrics "
+                "WHERE run_id = '{run_id}' AND kind = 'counter' "
+                f"AND name IN {work} GROUP BY window"
+            ),
+            threshold=0.0,
+            comparison=">",
+            severity="page",
+            description="catalog performed crash recovery",
+        ),
+        AlertRule(
+            name="recovery-orphans-removed",
+            sql=(
+                "SELECT window, SUM(value) AS value FROM __telemetry.metrics "
+                "WHERE run_id = '{run_id}' AND kind = 'counter' "
+                "AND name = 'recovery.orphans_removed' GROUP BY window"
+            ),
+            threshold=0.0,
+            comparison=">",
+            severity="warn",
+            description="fsck/recovery removed orphan files",
+        ),
+    )
 
 
 class Watchtower:

@@ -21,11 +21,14 @@ Hive / Spark SQL.  This package is a faithful single-process analogue:
 * :mod:`repro.dataplat.observability` — tracing spans, the process-wide
   metrics registry, and the ``span``/``profiled`` profiling hooks threaded
   through every hot path above.
+* :mod:`repro.dataplat.journal` — the write-ahead journal behind the
+  catalog's crash-atomic commits, plus recovery and fsck.
 """
 
 from .blockstore import BlockStore, FileStatus, StorageHealth
 from .catalog import Catalog
 from .dataset import Dataset
+from .journal import Durability, RecoveryReport, fsck_store
 from .observability import (
     MetricsRegistry,
     Tracer,
@@ -55,6 +58,9 @@ __all__ = [
     "Column",
     "ColumnType",
     "Dataset",
+    "Durability",
+    "RecoveryReport",
+    "fsck_store",
     "FaultInjector",
     "FaultPolicy",
     "FileStatus",

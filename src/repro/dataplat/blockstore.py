@@ -10,6 +10,7 @@ coverage.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 from collections import OrderedDict
 from collections.abc import Callable
@@ -46,6 +47,8 @@ class StorageHealth:
     transient_read_failures: int = 0
     read_retries: int = 0
     files_healed: int = 0
+    #: fsync barriers issued by durability-aware writers (journal/catalog).
+    fsyncs: int = 0
     #: Decoded-table cache traffic (maintained by the owning catalog).
     cache_hits: int = 0
     cache_misses: int = 0
@@ -201,6 +204,15 @@ class BlockStore:
         are rewritten from a checksum-verified copy and blocks that lost
         replicas to dead datanodes are re-replicated as soon as a read
         notices, instead of waiting for a manual :meth:`re_replicate`.
+    volatile:
+        When true, the store models an OS page cache: every mutation
+        (write/delete/rename/truncate) is applied immediately but is
+        *durable* only once :meth:`fsync` is called on the path.
+        :meth:`crash` reverts all unsynced mutations to their last synced
+        content — this is what makes the journal's fsync barriers testable
+        rather than decorative.  The default (non-volatile) store treats
+        every mutation as instantly durable and ``fsync`` as a counted
+        no-op.
     """
 
     def __init__(
@@ -212,6 +224,7 @@ class BlockStore:
         retry_policy: RetryPolicy | None = None,
         clock: SimClock | None = None,
         auto_repair: bool = True,
+        volatile: bool = False,
     ) -> None:
         if num_nodes < 1:
             raise StorageError(f"need at least one datanode, got {num_nodes}")
@@ -228,8 +241,21 @@ class BlockStore:
         self._retry = retry_policy
         self._clock = clock if clock is not None else SimClock()
         self._auto_repair = auto_repair
+        self._volatile = volatile
+        #: Last-synced content per dirty path (``None`` = did not exist);
+        #: only populated in volatile mode, first capture wins.
+        self._preimages: dict[str, bytes | None] = {}
         self.health = StorageHealth()
         self._invalidation_listeners: list[Callable[[str], None]] = []
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        """The attached chaos source (crash points ride on it), if any."""
+        return self._injector
+
+    def _crash_hit(self, label: str, detail: str = "") -> None:
+        if self._injector is not None and self._injector.crash_point is not None:
+            self._injector.crash_point.hit(label, detail)
 
     def add_invalidation_listener(self, listener: Callable[[str], None]) -> None:
         """Register a callback fired with a path whenever its bytes may
@@ -253,28 +279,52 @@ class BlockStore:
     def write(self, path: str, payload: bytes, overwrite: bool = True) -> FileStatus:
         """Write ``payload`` at ``path``, splitting into replicated blocks."""
         _validate_path(path)
+        self._crash_hit("blockstore.write", path)
         with span("blockstore.write", path=path) as sp:
-            if path in self._files:
-                if not overwrite:
-                    raise StorageError(f"file exists: {path}")
-                self.delete(path)
-            blocks = []
-            for offset in range(0, max(len(payload), 1), self._block_size):
-                chunk = payload[offset : offset + self._block_size]
-                blocks.append(self._store_block(chunk))
-            status = FileStatus(
-                path=path,
-                length=len(payload),
-                block_size=self._block_size,
-                replication=self._replication,
-                blocks=tuple(blocks),
-            )
-            self._files[path] = status
+            if path in self._files and not overwrite:
+                raise StorageError(f"file exists: {path}")
+            self._capture(path)
+            self._free_file(path)
+            status = self._install_file(path, payload)
             self._notify_invalidation(path)
             sp.incr("bytes", len(payload))
-            sp.incr("blocks", len(blocks))
+            sp.incr("blocks", status.num_blocks)
             get_metrics().counter("blockstore.bytes_written").inc(len(payload))
         return status
+
+    def rename(self, src: str, dst: str, overwrite: bool = True) -> FileStatus:
+        """Atomically move ``src`` to ``dst`` (POSIX ``rename(2)`` model).
+
+        The file's blocks move by metadata update only — no payload copy,
+        no re-checksum — and the swap is all-or-nothing: readers observe
+        either the old ``dst`` or the complete new one, never a torn mix.
+        This is the catalog's commit primitive for publishing staged files.
+        """
+        _validate_path(src)
+        _validate_path(dst)
+        self._crash_hit("blockstore.rename", f"{src} -> {dst}")
+        status = self.status(src)
+        if src == dst:
+            return status
+        with span("blockstore.rename", src=src, dst=dst):
+            if dst in self._files and not overwrite:
+                raise StorageError(f"file exists: {dst}")
+            self._capture(src)
+            self._capture(dst)
+            self._free_file(dst)
+            moved = FileStatus(
+                path=dst,
+                length=status.length,
+                block_size=status.block_size,
+                replication=status.replication,
+                blocks=status.blocks,
+            )
+            del self._files[src]
+            self._files[dst] = moved
+            self._notify_invalidation(src)
+            self._notify_invalidation(dst)
+            get_metrics().counter("blockstore.renames").inc()
+        return moved
 
     def read(self, path: str) -> bytes:
         """Read the full contents of ``path`` from any live replica.
@@ -332,16 +382,74 @@ class BlockStore:
 
     def delete(self, path: str) -> None:
         """Delete ``path`` and free its blocks on all datanodes."""
-        status = self.status(path)
-        for block in status.blocks:
-            for node_id in block.replicas:
-                self._nodes[node_id].blocks.pop(block.block_id, None)
-        del self._files[path]
+        self.status(path)
+        self._crash_hit("blockstore.delete", path)
+        self._capture(path)
+        self._free_file(path)
         self._notify_invalidation(path)
 
     def list_files(self, prefix: str = "/") -> list[str]:
         """All file paths under ``prefix``, sorted."""
         return sorted(p for p in self._files if p.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    # Durability model
+    # ------------------------------------------------------------------
+
+    def fsync(self, path: str) -> None:
+        """Make all mutations to ``path`` durable (survive :meth:`crash`).
+
+        Counted even on the default non-volatile store so benchmarks and
+        fsck see barrier traffic; lenient about paths that no longer exist
+        (syncing a delete is itself a mutation to persist).
+        """
+        self.health.fsyncs += 1
+        get_metrics().counter("blockstore.fsyncs").inc()
+        self._preimages.pop(path, None)
+
+    def fsync_all(self) -> None:
+        """Make every pending mutation durable (one barrier)."""
+        self.health.fsyncs += 1
+        get_metrics().counter("blockstore.fsyncs").inc()
+        self._preimages.clear()
+
+    def crash(self) -> list[str]:
+        """Simulate power loss: revert every unsynced mutation.
+
+        Only meaningful on a ``volatile`` store (no-op otherwise).  Each
+        dirty path reverts to its last fsynced content — or disappears, if
+        it was created after the last sync.  Returns the affected paths.
+        """
+        if not self._volatile or not self._preimages:
+            return []
+        preimages, self._preimages = self._preimages, {}
+        affected = sorted(preimages)
+        for path in affected:
+            self._free_file(path)
+            pre = preimages[path]
+            if pre is not None:
+                self._install_file(path, pre)
+            self._notify_invalidation(path)
+        return affected
+
+    def truncate(self, path: str, length: int) -> None:
+        """Cut ``path`` to its first ``length`` bytes (torn-write model).
+
+        Crash tests use this to simulate a write that made it only
+        partially to disk: the tail of the last journal record or chunk
+        file is sliced off at an arbitrary byte offset and recovery must
+        still produce a valid catalog.
+        """
+        if length < 0:
+            raise StorageError(f"length must be >= 0, got {length}")
+        status = self.status(path)
+        if length >= status.length:
+            return
+        payload = self._read_raw(path)[:length]
+        self._capture(path)
+        self._free_file(path)
+        self._install_file(path, payload)
+        self._notify_invalidation(path)
 
     @property
     def total_bytes(self) -> int:
@@ -453,6 +561,101 @@ class BlockStore:
         if not 0 <= node_id < len(self._nodes):
             raise StorageError(f"no such datanode: {node_id}")
         return self._nodes[node_id]
+
+    def _capture(self, path: str) -> None:
+        """Record ``path``'s last-synced content before dirtying it.
+
+        First capture wins: if the path is already dirty, its preimage is
+        the synced content, not the intermediate dirty one.
+        """
+        if not self._volatile or path in self._preimages:
+            return
+        self._preimages[path] = (
+            self._read_raw(path) if path in self._files else None
+        )
+
+    def _free_file(self, path: str) -> None:
+        """Drop ``path``'s metadata and blocks; no-op if absent."""
+        status = self._files.pop(path, None)
+        if status is None:
+            return
+        for block in status.blocks:
+            for node_id in block.replicas:
+                self._nodes[node_id].blocks.pop(block.block_id, None)
+
+    def _install_file(self, path: str, payload: bytes) -> FileStatus:
+        """Store ``payload`` as fresh replicated blocks under ``path``."""
+        blocks = []
+        for offset in range(0, max(len(payload), 1), self._block_size):
+            chunk = payload[offset : offset + self._block_size]
+            blocks.append(self._store_block(chunk))
+        status = FileStatus(
+            path=path,
+            length=len(payload),
+            block_size=self._block_size,
+            replication=self._replication,
+            blocks=tuple(blocks),
+        )
+        self._files[path] = status
+        return status
+
+    def _read_raw(self, path: str) -> bytes:
+        """Checksum-verified read without fault injection or telemetry."""
+        status = self._files[path]
+        parts = []
+        for block in status.blocks:
+            expected = block.block_id.rsplit("_", 1)[-1]
+            chunk = None
+            for node_id in block.replicas:
+                node = self._nodes[node_id]
+                candidate = node.blocks.get(block.block_id)
+                if (
+                    node.alive
+                    and candidate is not None
+                    and _digest(candidate) == expected
+                ):
+                    chunk = candidate
+                    break
+            if chunk is None:
+                raise StorageError(f"no live replica for block {block.block_id}")
+            parts.append(chunk)
+        return b"".join(parts)
+
+    # ------------------------------------------------------------------
+    # Snapshots (fsck CLI interchange format)
+    # ------------------------------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """A JSON-serializable snapshot of config + logical file contents."""
+        return {
+            "format": 1,
+            "config": {
+                "num_nodes": len(self._nodes),
+                "replication": self._replication,
+                "block_size": self._block_size,
+            },
+            "files": {
+                path: base64.b64encode(self._read_raw(path)).decode("ascii")
+                for path in sorted(self._files)
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, doc: dict) -> "BlockStore":
+        """Rebuild a store from :meth:`to_snapshot` output."""
+        if doc.get("format") != 1:
+            raise StorageError(
+                f"unsupported snapshot format: {doc.get('format')!r}"
+            )
+        config = doc.get("config", {})
+        store = cls(
+            num_nodes=int(config.get("num_nodes", 3)),
+            replication=int(config.get("replication", 2)),
+            block_size=int(config.get("block_size", DEFAULT_BLOCK_SIZE)),
+        )
+        for path, encoded in sorted(doc.get("files", {}).items()):
+            store.write(path, base64.b64decode(encoded))
+        return store
 
     def _store_block(self, chunk: bytes) -> BlockInfo:
         block_id = f"blk_{self._next_block:012d}_{_digest(chunk)}"

@@ -16,9 +16,10 @@ conjuncts.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
-from ..errors import CatalogError
+from ..errors import CatalogError, StorageError
 from .blockstore import DEFAULT_TABLE_CACHE_BYTES, BlockStore, TableCache
 from .columnar import (
     CHUNK_SUFFIX,
@@ -31,6 +32,16 @@ from .columnar import (
     decode_column,
     encode_column,
     manifest_allows,
+)
+from .journal import (
+    Durability,
+    RecoveryReport,
+    TableJournal,
+    partition_residue,
+    recover_store,
+    schema_doc,
+    staging_dir,
+    txn_floor,
 )
 from .observability import get_metrics, span
 from .schema import Schema
@@ -69,6 +80,11 @@ class Catalog:
     default_format:
         ``"v2"`` (chunked columnar, the default) or ``"v1"`` (whole-table
         npz) for new :meth:`save` calls; either format stays readable.
+    durability:
+        Crash-safety configuration (see :class:`~.journal.Durability`).
+        By default every save/drop runs as a journaled transaction with
+        fsync barriers at the commit point; ``Durability.disabled()``
+        restores the pre-journal direct write path.
     """
 
     #: Partition value used for unpartitioned tables.
@@ -79,6 +95,7 @@ class Catalog:
         store: BlockStore | None = None,
         cache_bytes: int = DEFAULT_TABLE_CACHE_BYTES,
         default_format: str = "v2",
+        durability: Durability | None = None,
     ) -> None:
         if default_format not in ("v1", "v2"):
             raise CatalogError(
@@ -86,6 +103,7 @@ class Catalog:
             )
         self._store = store if store is not None else BlockStore()
         self._format = default_format
+        self._durability = durability if durability is not None else Durability()
         self._tables: dict[tuple[str, str], dict[str, str]] = {}
         self._schemas: dict[tuple[str, str], Schema] = {}
         self._cache = TableCache(cache_bytes, health=self._store.health)
@@ -95,11 +113,63 @@ class Catalog:
         #: eviction would lose them rather than cost a re-read.
         self._temp: dict[str, Table] = {}
         self._databases: set[str] = {"default"}
+        #: Monotonic transaction id; lazily floored against whatever ids
+        #: already exist on the store so versioned chunk names never reuse
+        #: a live one.
+        self._txn = 0
+        self._txn_seeded = False
+        #: What the last :meth:`open` recovery did (None for plain
+        #: constructor use, where no recovery runs).
+        self.last_recovery: RecoveryReport | None = None
         self._store.add_invalidation_listener(self._on_invalidated)
+
+    @classmethod
+    def open(
+        cls,
+        store: BlockStore,
+        cache_bytes: int = DEFAULT_TABLE_CACHE_BYTES,
+        default_format: str = "v2",
+        durability: Durability | None = None,
+    ) -> "Catalog":
+        """Open a catalog over an existing store, running crash recovery.
+
+        Journals are replayed (committed-but-unfinished transactions) or
+        rolled back (uncommitted ones), staging/orphan files are swept,
+        and registrations are rebuilt from journal checkpoints — falling
+        back to the identity fields v2 manifests embed when no journal
+        survives.  The recovery outcome lands in :attr:`last_recovery`,
+        on ``recovery.*`` metric counters, and under a ``catalog.recover``
+        span.
+        """
+        catalog = cls(store, cache_bytes, default_format, durability)
+        catalog._recover()
+        return catalog
+
+    def _recover(self) -> None:
+        with span("catalog.recover") as sp:
+            recovered = recover_store(self._store, self._durability)
+            self._tables = {k: dict(v) for k, v in recovered.tables.items()}
+            self._schemas = dict(recovered.schemas)
+            for database, _name in self._tables:
+                self._databases.add(database)
+            self._txn = max(self._txn, recovered.max_txn)
+            self._txn_seeded = True
+            report = recovered.report
+            self.last_recovery = report
+            metrics = get_metrics()
+            for counter, value in report.counters().items():
+                if value:
+                    metrics.counter(counter).inc(value)
+                    sp.incr(counter.split(".", 1)[1], value)
+            sp.set_tag("clean", report.clean)
 
     @property
     def store(self) -> BlockStore:
         return self._store
+
+    @property
+    def durability(self) -> Durability:
+        return self._durability
 
     @property
     def table_cache(self) -> TableCache:
@@ -139,6 +209,14 @@ class Catalog:
         A ``partition`` value (e.g. ``"month=3"``) appends/overwrites one
         partition; omitted means the whole unpartitioned table.  ``format``
         overrides the catalog's default storage format for this partition.
+
+        With journaling on (the default), the write runs as one
+        crash-atomic transaction: files are staged, an intent + commit
+        record pair makes the decision durable, staged files are renamed
+        into place (the manifest last, as the atomic visibility switch)
+        and only then are the replaced version's files deleted.  A crash
+        anywhere leaves either the old or the new version, recoverable by
+        :meth:`open`.
         """
         if database not in self._databases:
             raise CatalogError(f"unknown database: {database}")
@@ -158,42 +236,202 @@ class Catalog:
         old = self._tables.get(key, {}).get(partition)
         if old is not None and self._store.exists(old) and not overwrite:
             raise CatalogError(f"partition exists: {database}.{name}/{partition}")
-        if old is not None and old != path:
-            # Format changed for this partition: drop the stale files.
-            self._delete_partition_files(old)
-        if fmt == "v1":
-            self._store.write(path, table.to_bytes())
-            self._tables.setdefault(key, {})[partition] = path
-            self._schemas[key] = table.schema
-            # The write invalidated any stale entry; cache the fresh table.
-            self._cache.put(path, table, table.nbytes)
-            return
-        chunks = []
-        arrays = {}
+        self._crash("catalog.save.begin", f"{database}.{name}/{partition}")
+        if self._durability.journal:
+            self._save_journaled(key, partition, table, fmt, base, path, old)
+        else:
+            self._save_direct(key, partition, table, fmt, base, path, old)
+
+    def _encode_chunks(
+        self, table: Table, base: str, txn: int, stage: str | None
+    ) -> tuple[list[ChunkMeta], dict[str, object], dict[str, bytes]]:
+        """Encode v2 chunks with version-stamped final paths.
+
+        Returns ``(metas, arrays-by-final-path, payloads-by-write-path)``
+        where the write path is the staging path when ``stage`` is given,
+        else the final path (direct mode).  Version-stamping final chunk
+        names with the txn id is what lets an overwrite publish without
+        ever clobbering a committed chunk file.
+        """
+        metas: list[ChunkMeta] = []
+        arrays: dict[str, object] = {}
+        payloads: dict[str, bytes] = {}
         for column in table.schema:
             arr = table.column(column.name)
             payload, zone = encode_column(column, arr)
-            chunk_path = f"{base}/{column.name}{CHUNK_SUFFIX}"
-            self._store.write(chunk_path, payload)
-            chunks.append(
+            dst = f"{base}/{column.name}.{txn:08d}{CHUNK_SUFFIX}"
+            write_path = f"{stage}/{column.name}{CHUNK_SUFFIX}" if stage else dst
+            metas.append(
                 ChunkMeta(
                     name=column.name,
                     ctype=column.ctype.value,
-                    path=chunk_path,
+                    path=dst,
                     encoded_bytes=len(payload),
                     decoded_bytes=array_nbytes(arr),
                     zone=zone,
                 )
             )
-            arrays[chunk_path] = arr
-        manifest = PartitionManifest(rows=table.num_rows, chunks=tuple(chunks))
-        self._store.write(path, manifest.to_bytes())
+            arrays[dst] = arr
+            payloads[write_path] = payload
+        return metas, arrays, payloads
+
+    def _save_journaled(
+        self,
+        key: tuple[str, str],
+        partition: str,
+        table: Table,
+        fmt: str,
+        base: str,
+        path: str,
+        old: str | None,
+    ) -> None:
+        database, name = key
+        txn = self._next_txn()
+        stage = staging_dir(database, name, txn)
+        sync_every = self._durability.sync_every_write
+        sync_commit = self._durability.sync_on_commit
+        label = f"{database}.{name}/{partition}"
+        moves: list[tuple[str, str]] = []
+        crcs: dict[str, int] = {}
+        arrays: dict[str, object] = {}
+        manifest: PartitionManifest | None = None
+        if fmt == "v1":
+            payload = table.to_bytes()
+            src = f"{stage}/table.npz"
+            self._store.write(src, payload)
+            if sync_every:
+                self._store.fsync(src)
+            crcs[src] = zlib.crc32(payload) & 0xFFFFFFFF
+            moves.append((src, path))
+        else:
+            metas, arrays, payloads = self._encode_chunks(table, base, txn, stage)
+            for (src, payload), meta in zip(payloads.items(), metas):
+                self._store.write(src, payload)
+                if sync_every:
+                    self._store.fsync(src)
+                crcs[src] = zlib.crc32(payload) & 0xFFFFFFFF
+                moves.append((src, meta.path))
+            manifest = PartitionManifest(
+                rows=table.num_rows,
+                chunks=tuple(metas),
+                database=database,
+                table=name,
+                partition=partition,
+            )
+            manifest_payload = manifest.to_bytes()
+            src = f"{stage}/manifest{MANIFEST_SUFFIX}"
+            self._store.write(src, manifest_payload)
+            if sync_every:
+                self._store.fsync(src)
+            crcs[src] = zlib.crc32(manifest_payload) & 0xFFFFFFFF
+            # The manifest rename runs last: it is the visibility switch.
+            moves.append((src, path))
+        cleanup = (
+            [f for f in self._partition_files_for_path(old) if f != path]
+            if old is not None
+            else []
+        )
+        journal = self._journal(database, name)
+        intent_path = journal.append(
+            "intent",
+            {
+                "op": "save",
+                "partition": partition,
+                "fmt": fmt,
+                "path": path,
+                "rows": table.num_rows,
+                "schema": schema_doc(table.schema),
+                "moves": [[s, d] for s, d in moves],
+                "cleanup": cleanup,
+                "crcs": crcs,
+            },
+            txn,
+            sync=sync_every,
+        )
+        if sync_commit and not sync_every:
+            # Barrier: staged data + intent must be durable before commit.
+            for src, _dst in moves:
+                self._store.fsync(src)
+            self._store.fsync(intent_path)
+        self._crash("catalog.save.barrier", label)
+        journal.append("commit", {}, txn, sync=sync_commit)
+        # Commit point: from here, recovery rolls this txn forward.
+        self._crash("catalog.save.commit", label)
+        for src, dst in moves:
+            self._store.rename(src, dst)
+            if sync_commit:
+                self._store.fsync(dst)
+        self._crash("catalog.save.published", label)
+        for stale in cleanup:
+            if self._store.exists(stale):
+                self._store.delete(stale)
+        self._crash("catalog.save.cleanup", label)
+        journal.append("done", {}, txn, sync=False)
+        self._finish_save(key, partition, path, old, table, manifest, arrays)
+        self._maybe_compact(journal, key)
+
+    def _save_direct(
+        self,
+        key: tuple[str, str],
+        partition: str,
+        table: Table,
+        fmt: str,
+        base: str,
+        path: str,
+        old: str | None,
+    ) -> None:
+        """The unjournaled write path (``Durability.disabled()``)."""
+        database, name = key
+        txn = self._next_txn()
+        cleanup = (
+            [f for f in self._partition_files_for_path(old) if f != path]
+            if old is not None
+            else []
+        )
+        manifest: PartitionManifest | None = None
+        arrays: dict[str, object] = {}
+        if fmt == "v1":
+            self._store.write(path, table.to_bytes())
+        else:
+            metas, arrays, payloads = self._encode_chunks(table, base, txn, None)
+            for dst, payload in payloads.items():
+                self._store.write(dst, payload)
+            manifest = PartitionManifest(
+                rows=table.num_rows,
+                chunks=tuple(metas),
+                database=database,
+                table=name,
+                partition=partition,
+            )
+            self._store.write(path, manifest.to_bytes())
+        for stale in cleanup:
+            if self._store.exists(stale):
+                self._store.delete(stale)
+        self._finish_save(key, partition, path, old, table, manifest, arrays)
+
+    def _finish_save(
+        self,
+        key: tuple[str, str],
+        partition: str,
+        path: str,
+        old: str | None,
+        table: Table,
+        manifest: PartitionManifest | None,
+        arrays: dict[str, object],
+    ) -> None:
+        """Update registration, schema, and caches after a publish."""
+        if old is not None:
+            self._temp.pop(old, None)
         self._tables.setdefault(key, {})[partition] = path
         self._schemas[key] = table.schema
-        # The writes invalidated any stale entries; cache the fresh chunks.
-        self._manifests[path] = manifest
-        for chunk_path, arr in arrays.items():
-            self._cache.put(chunk_path, arr, array_nbytes(arr))
+        if manifest is None:
+            # The write invalidated any stale entry; cache the fresh table.
+            self._cache.put(path, table, table.nbytes)
+        else:
+            # The writes invalidated any stale entries; cache fresh chunks.
+            self._manifests[path] = manifest
+            for chunk_path, arr in arrays.items():
+                self._cache.put(chunk_path, arr, array_nbytes(arr))
 
     def register_temp(
         self,
@@ -345,9 +583,12 @@ class Catalog:
     ) -> None:
         """Drop one partition of a table, deleting its file(s).
 
-        Dropping the last partition removes the table itself.  This is the
-        retention primitive of the telemetry warehouse: expiring a run is a
-        set of partition drops, never a rewrite of surviving rows.
+        Dropping the last partition removes the table itself (and its
+        journal).  This is the retention primitive of the telemetry
+        warehouse: expiring a run is a set of partition drops, never a
+        rewrite of surviving rows.  The deletion covers mixed-format
+        residue too: a partition registered as v2 whose interrupted v1
+        migration left an ``.npz`` sibling (or vice versa) loses both.
         """
         key = self._resolve(name, database)
         parts = self._tables[key]
@@ -356,19 +597,60 @@ class Catalog:
                 f"no partition {partition!r} in {database}.{name}; "
                 f"available: {sorted(parts)}"
             )
-        path = parts.pop(partition)
-        self._delete_partition_files(path)
+        path = parts[partition]
+        label = f"{database}.{name}/{partition}"
+        self._crash("catalog.drop.begin", label)
+        if path in self._temp or not self._durability.journal:
+            parts.pop(partition)
+            self._delete_partition_files(path)
+            if not parts:
+                del self._tables[key]
+                del self._schemas[key]
+                self._journal(database, name).destroy()
+            return
+        cleanup = self._partition_files_for_path(path)
+        txn = self._next_txn()
+        sync_every = self._durability.sync_every_write
+        sync_commit = self._durability.sync_on_commit
+        journal = self._journal(database, name)
+        intent_path = journal.append(
+            "intent",
+            {
+                "op": "drop",
+                "partition": partition,
+                "path": path,
+                "cleanup": cleanup,
+            },
+            txn,
+            sync=sync_every,
+        )
+        if sync_commit and not sync_every:
+            self._store.fsync(intent_path)
+        self._crash("catalog.drop.barrier", label)
+        journal.append("commit", {}, txn, sync=sync_commit)
+        self._crash("catalog.drop.commit", label)
+        for stale in cleanup:
+            if self._store.exists(stale):
+                self._store.delete(stale)
+        self._crash("catalog.drop.cleanup", label)
+        journal.append("done", {}, txn, sync=False)
+        parts.pop(partition)
+        self._cache.invalidate(path)
+        self._manifests.pop(path, None)
         if not parts:
             del self._tables[key]
             del self._schemas[key]
+            journal.destroy()
+        else:
+            self._maybe_compact(journal, key)
 
     def drop(self, name: str, database: str = "default") -> None:
-        """Drop a table and delete its files."""
+        """Drop a table and delete its files (one transaction per
+        partition — a crash mid-drop leaves the surviving partitions
+        intact and registered)."""
         key = self._resolve(name, database)
-        for path in self._tables[key].values():
-            self._delete_partition_files(path)
-        del self._tables[key]
-        del self._schemas[key]
+        for partition in sorted(self._tables[key]):
+            self.drop_partition(name, partition, database)
 
     def info(self, name: str, database: str = "default") -> TableInfo:
         """Describe a table."""
@@ -401,13 +683,68 @@ class Catalog:
             )
         return key
 
+    def _crash(self, label: str, detail: str = "") -> None:
+        """Named crash site for the crash-consistency sweep harness."""
+        injector = self._store.injector
+        if injector is not None and injector.crash_point is not None:
+            injector.crash_point.hit(label, detail)
+
+    def _journal(self, database: str, name: str) -> TableJournal:
+        return TableJournal(self._store, database, name, self._durability)
+
+    def _next_txn(self) -> int:
+        if not self._txn_seeded:
+            # Never reuse a txn id already on the store: versioned chunk
+            # names derive from it, and a collision could overwrite a
+            # committed chunk of the same partition.
+            self._txn_seeded = True
+            self._txn = max(self._txn, txn_floor(self._store))
+        self._txn += 1
+        return self._txn
+
+    def _maybe_compact(self, journal: TableJournal, key: tuple[str, str]) -> None:
+        if len(journal.record_files()) <= self._durability.compact_after:
+            return
+        self._crash("catalog.compact", f"{key[0]}.{key[1]}")
+        journal.compact(
+            self._next_txn(), self._tables.get(key, {}), self._schemas.get(key)
+        )
+
+    def partition_files(
+        self,
+        name: str,
+        partition: str | None = None,
+        database: str = "default",
+    ) -> list[str]:
+        """Store files backing one partition (or every partition).
+
+        Includes mixed-format residue (an ``.npz`` sibling of a v2
+        partition or vice versa), which is what drop and fsck must remove.
+        Temp views contribute nothing — they have no backing files.
+        """
+        key = self._resolve(name, database)
+        parts = self._tables[key]
+        targets = [partition] if partition is not None else sorted(parts)
+        files: set[str] = set()
+        for pname in targets:
+            if pname not in parts:
+                raise CatalogError(
+                    f"no partition {pname!r} in {database}.{name}; "
+                    f"available: {sorted(parts)}"
+                )
+            files.update(self._partition_files_for_path(parts[pname]))
+        return sorted(files)
+
+    def _partition_files_for_path(self, path: str) -> list[str]:
+        if path in self._temp:
+            return []
+        return partition_residue(self._store, path)
+
     def _delete_partition_files(self, path: str) -> None:
         """Delete every store file backing one partition registration."""
-        if path.endswith(MANIFEST_SUFFIX):
-            for chunk_path in self._store.list_files(chunk_dir(path)):
-                self._store.delete(chunk_path)
-        if self._store.exists(path):
-            self._store.delete(path)
+        for stale in self._partition_files_for_path(path):
+            if self._store.exists(stale):
+                self._store.delete(stale)
         self._cache.invalidate(path)
         self._manifests.pop(path, None)
         self._temp.pop(path, None)

@@ -295,10 +295,28 @@ class ChunkMeta:
 
 @dataclass(frozen=True)
 class PartitionManifest:
-    """Everything a scan needs to know about one v2 partition."""
+    """Everything a scan needs to know about one v2 partition.
+
+    ``database``/``table``/``partition`` record the catalog identity the
+    manifest was written under.  Registration paths mangle partition specs
+    lossily (``month=3`` → ``month_3``), so these fields are what recovery
+    and fsck use to re-register a partition found on storage when the
+    journal that created it is gone.  They are optional for backward
+    compatibility with manifests written before the journal existed.
+    """
 
     rows: int
     chunks: tuple[ChunkMeta, ...]
+    database: str | None = None
+    table: str | None = None
+    partition: str | None = None
+
+    @property
+    def identity(self) -> tuple[str, str, str] | None:
+        """``(database, table, partition)`` when fully recorded, else None."""
+        if self.database is None or self.table is None or self.partition is None:
+            return None
+        return (self.database, self.table, self.partition)
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -328,6 +346,12 @@ class PartitionManifest:
                 for c in self.chunks
             ],
         }
+        if self.identity is not None:
+            doc["identity"] = {
+                "database": self.database,
+                "table": self.table,
+                "partition": self.partition,
+            }
         return json.dumps(doc).encode("utf-8")
 
     @classmethod
@@ -350,7 +374,14 @@ class PartitionManifest:
             )
             for c in doc["columns"]
         )
-        return cls(rows=int(doc["rows"]), chunks=chunks)
+        identity = doc.get("identity", {})
+        return cls(
+            rows=int(doc["rows"]),
+            chunks=chunks,
+            database=identity.get("database"),
+            table=identity.get("table"),
+            partition=identity.get("partition"),
+        )
 
 
 def manifest_allows(

@@ -40,11 +40,83 @@ __all__ = [
     "RetryPolicy",
     "FaultPolicy",
     "FaultInjector",
+    "SimulatedCrash",
+    "CrashPoint",
     "TaskRuntime",
     "ResilienceEvent",
     "PipelineHealthReport",
     "CatalogTableSource",
 ]
+
+
+class SimulatedCrash(BaseException):
+    """An injected process crash at a named crash point.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError` (nor even an
+    ``Exception``): a crash is the process dying, so no retry policy,
+    quarantine handler or ``except Exception`` recovery path may absorb
+    it.  Only the crash-test harness catches it, then reopens the catalog
+    and asserts the crash-consistency invariants.
+    """
+
+    def __init__(self, point: str, detail: str = "", hit: int = 0) -> None:
+        super().__init__(
+            f"simulated crash at point {point!r}"
+            + (f" ({detail})" if detail else "")
+            + f" [hit #{hit}]"
+        )
+        self.point = point
+        self.detail = detail
+        self.hit = hit
+
+
+class CrashPoint:
+    """Named crash sites for systematic crash-consistency sweeps.
+
+    Write paths call :meth:`hit` at every named point (each block-store
+    mutation, each step of the catalog commit protocol).  A test first
+    runs an operation unarmed to *enumerate* the points it passes
+    (:attr:`visited`), then re-runs it once per point with
+    ``raise_at(k)`` armed: the ``k``-th hit raises
+    :class:`SimulatedCrash`, simulating the process dying right there.
+    Arming is one-shot — after firing the point disarms itself, so
+    recovery code running after the "crash" is not re-crashed.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        #: ``(label, detail)`` per hit, in order — the enumeration a sweep
+        #: iterates over (detail is typically the store path involved).
+        self.visited: list[tuple[str, str]] = []
+        self._armed: int | None = None
+
+    def raise_at(self, k: int) -> "CrashPoint":
+        """Arm a crash at the ``k``-th hit from now (1-based)."""
+        if k < 1:
+            raise DataPlatformError(f"crash hit index must be >= 1, got {k}")
+        self._armed = k
+        return self
+
+    def disarm(self) -> None:
+        self._armed = None
+
+    @property
+    def armed(self) -> bool:
+        return self._armed is not None
+
+    def reset(self) -> None:
+        """Clear hit counter, visit log, and arming."""
+        self.hits = 0
+        self.visited = []
+        self._armed = None
+
+    def hit(self, label: str, detail: str = "") -> None:
+        """Record passing a crash point; raise if the armed hit is reached."""
+        self.hits += 1
+        self.visited.append((label, detail))
+        if self._armed is not None and self.hits >= self._armed:
+            self._armed = None
+            raise SimulatedCrash(label, detail, self.hits)
 
 
 class SimClock:
@@ -187,11 +259,20 @@ class FaultInjector:
     kinds interleave.  ``injected`` counts the faults actually fired.
     """
 
-    def __init__(self, policy: FaultPolicy | None = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        policy: FaultPolicy | None = None,
+        seed: int = 0,
+        crash_point: CrashPoint | None = None,
+    ) -> None:
         self.policy = policy if policy is not None else FaultPolicy()
         self.seed = seed
         self._draws = {kind: 0 for kind in FAULT_KINDS}
         self.injected: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        #: Optional named-crash-site harness; ``None`` means no crash
+        #: injection.  Store/catalog write paths call
+        #: ``crash_point.hit(label, path)`` at each named point.
+        self.crash_point = crash_point
 
     @classmethod
     def disabled(cls) -> "FaultInjector":

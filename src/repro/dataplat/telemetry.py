@@ -275,6 +275,24 @@ class TelemetryWarehouse:
         self._append("metrics", run_id, window, rows)
         return len(rows)
 
+    def record_recovery(self, run_id: str, window: int, report) -> int:
+        """Sink a :class:`~.journal.RecoveryReport` as recovery counters.
+
+        One ``recovery.*`` counter row per non-zero field (plus an
+        always-written ``recovery.runs`` marker), so watchtower threshold
+        rules can page on *any* unexpected replay/rollback in a scenario
+        run without a schema of their own.
+        """
+        counters = {"recovery.runs": 1.0}
+        counters.update(
+            {
+                name: float(value)
+                for name, value in report.counters().items()
+                if value
+            }
+        )
+        return self.record_metrics(run_id, window, {"counters": counters})
+
     def record_drift(self, run_id: str, window: int, report) -> int:
         """Sink a :class:`~repro.core.monitoring.MonitoringReport`.
 

@@ -21,6 +21,15 @@ from repro.dataplat.table import Table
 from repro.errors import CatalogError, StorageError
 
 
+def chunk_path(catalog: Catalog, column: str, table: str = "t") -> str:
+    """Resolve a column's version-stamped chunk path via the manifest."""
+    manifest_path = f"/warehouse/default/{table}/__all__" + MANIFEST_SUFFIX
+    manifest = PartitionManifest.from_bytes(catalog.store.read(manifest_path))
+    meta = manifest.chunk(column)
+    assert meta is not None, f"no chunk for column {column!r}"
+    return meta.path
+
+
 class TestChunkCodec:
     @pytest.mark.parametrize(
         "ctype, arr",
@@ -291,8 +300,8 @@ class TestChunkCache:
         catalog.save(
             Table.from_arrays(a=np.arange(4), b=np.arange(4) * 2.0), "t"
         )
-        assert "/warehouse/default/t/__all__/a.chunk" in catalog.table_cache
-        assert "/warehouse/default/t/__all__/b.chunk" in catalog.table_cache
+        assert chunk_path(catalog, "a") in catalog.table_cache
+        assert chunk_path(catalog, "b") in catalog.table_cache
 
     def test_projection_scan_only_warms_requested_chunks(self):
         catalog = Catalog()
@@ -301,16 +310,16 @@ class TestChunkCache:
         )
         catalog.clear_cache()
         catalog.scan("t", columns=["a"])
-        assert "/warehouse/default/t/__all__/a.chunk" in catalog.table_cache
-        assert "/warehouse/default/t/__all__/b.chunk" not in catalog.table_cache
+        assert chunk_path(catalog, "a") in catalog.table_cache
+        assert chunk_path(catalog, "b") not in catalog.table_cache
 
     def test_chunk_corruption_invalidates_only_that_chunk(self):
         catalog = Catalog()
         table = Table.from_arrays(a=np.arange(4), b=np.arange(4) * 2.0)
         catalog.save(table, "t")
-        path = "/warehouse/default/t/__all__/a.chunk"
+        path = chunk_path(catalog, "a")
         status = catalog.store.status(path)
         catalog.store.corrupt_block(path, 0, status.blocks[0].replicas[0])
         assert path not in catalog.table_cache
-        assert "/warehouse/default/t/__all__/b.chunk" in catalog.table_cache
+        assert chunk_path(catalog, "b") in catalog.table_cache
         assert catalog.load("t") == table  # replica heals the read

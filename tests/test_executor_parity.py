@@ -278,7 +278,11 @@ class TestCatalogCache:
         catalog = Catalog()
         catalog.save(table, "t")
         catalog.load("t")
-        path = "/warehouse/default/t/__all__/imsi.chunk"
+        [path] = [
+            p
+            for p in catalog.store.list_files("/warehouse/default/t/__all__/")
+            if p.rsplit("/", 1)[-1].startswith("imsi.")
+        ]
         assert path in catalog.table_cache
         status = catalog.store.status(path)
         catalog.store.corrupt_block(path, 0, status.blocks[0].replicas[0])
@@ -290,8 +294,10 @@ class TestCatalogCache:
         catalog = Catalog()
         catalog.save(table, "t")
         catalog.load("t")
+        chunks = catalog.partition_files("t")
         catalog.drop("t")
-        assert "/warehouse/default/t/__all__/imsi.chunk" not in catalog.table_cache
+        assert not any(path in catalog.table_cache for path in chunks)
+        assert chunks  # the partition had backing files before the drop
 
     def test_temp_views_survive_clear_cache(self, table):
         catalog = Catalog()
