@@ -49,7 +49,7 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_micro.json"
 
 #: Bump when the BENCH_micro.json layout changes, so downstream dashboards
 #: and the CI diff job can refuse to compare incompatible files.
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 
 #: Telemetry sinking must stay below this fraction of window wall time.
 SINK_BUDGET = 0.05
@@ -392,6 +392,119 @@ def bench_recovery(quick: bool, repeats: int):
     }
 
 
+def bench_planner(quick: bool, repeats: int):
+    """Cost-based optimizer on a skewed multi-way join.
+
+    Two fact tables (``calls`` and ``events``) share a power-law customer
+    key; the query joins them to each other and through ``custs`` to a
+    tiny ``offers`` dimension, filtering on the dimension — written in the
+    worst order, fact-to-fact first.  With ``cost_based=False`` the plan
+    executes as written and materializes the skewed many-to-many
+    intermediate; with ``cost_based=True`` the binder's zone-map
+    statistics let the CBO reorder smallest-build-first (dimension filter
+    first) and pre-aggregate below the final join, so the blow-up never
+    exists.  Both must return identical rows; the speedup is gated in CI
+    (``scripts/check_bench_regression.py``).  ``estimate_error_*`` comes
+    from the ``planner.estimate_error_q`` histogram of a fresh metrics
+    registry: the q-error factor between estimated and actual rows per
+    operator (1.0 = perfect).
+    """
+    from repro.dataplat.sql import SQLEngine
+    from repro.dataplat.sql.executor import ESTIMATE_ERROR_BUCKETS
+
+    rng = np.random.default_rng(17)
+    n_calls = 60_000 if quick else 150_000
+    n_cust = 4_000 if quick else 10_000
+    n_offer = 64
+
+    # Power-law customer keys: a few heavy hitters dominate, so the
+    # fact-to-fact join's output is far larger than either input — the
+    # case where picking the wrong join order actually hurts.
+    def skewed_keys(n):
+        return (n_cust * rng.random(n) ** 2).astype(np.int64)
+
+    calls = Table.from_arrays(
+        cust=skewed_keys(n_calls),
+        dur=rng.integers(0, 3600, size=n_calls),
+    )
+    events = Table.from_arrays(
+        cust=skewed_keys(n_calls),
+        bytes_dl=rng.integers(0, 10_000, size=n_calls),
+    )
+    custs = Table.from_arrays(
+        id=np.arange(n_cust, dtype=np.int64),
+        offer=rng.integers(0, n_offer, size=n_cust),
+    )
+    kinds = np.asarray(["std"] * n_offer, dtype=object)
+    kinds[rng.choice(n_offer, size=4, replace=False)] = "promo"
+    offers = Table.from_arrays(
+        id=np.arange(n_offer, dtype=np.int64), kind=kinds
+    )
+
+    catalog = Catalog()
+    catalog.save(calls, "calls")
+    catalog.save(events, "events")
+    catalog.save(custs, "custs")
+    catalog.save(offers, "offers")
+
+    sql = (
+        "SELECT o.kind AS kind, SUM(c.dur) AS total_dur, COUNT(*) AS n "
+        "FROM calls c JOIN events e ON c.cust = e.cust "
+        "JOIN custs u ON c.cust = u.id "
+        "JOIN offers o ON u.offer = o.id "
+        "WHERE o.kind = 'promo' GROUP BY o.kind"
+    )
+    engines = {
+        "off": SQLEngine(catalog, cost_based=False),
+        "on": SQLEngine(catalog, cost_based=True),
+    }
+    times = {}
+    results = {}
+    for label, engine in engines.items():
+        results[label] = engine.query(sql)  # warm caches before timing
+        times[label] = _median_time(lambda e=engine: e.query(sql), repeats)
+
+    def norm(table):
+        cols = [table[c] for c in table.schema.names]
+        return sorted(
+            tuple(
+                round(float(v), 6) if isinstance(v, (int, float, np.number))
+                and not isinstance(v, (bool, np.bool_)) else v
+                for v in row
+            )
+            for row in zip(*cols)
+        )
+
+    assert norm(results["off"]) == norm(results["on"]), (
+        "cost-based optimizer changed the query answer"
+    )
+
+    previous = observability.set_metrics(observability.MetricsRegistry())
+    try:
+        engines["on"].query(sql)
+        hist = observability.get_metrics().histogram(
+            "planner.estimate_error_q", boundaries=ESTIMATE_ERROR_BUCKETS
+        )
+        est_mean = hist.mean if hist.total else float("nan")
+        est_max = hist.max if hist.total else float("nan")
+        est_n = hist.total
+    finally:
+        observability.set_metrics(previous)
+
+    return {
+        "rows_calls": n_calls,
+        "rows_events": n_calls,
+        "rows_custs": n_cust,
+        "rows_offers": n_offer,
+        "cbo_off_s": times["off"],
+        "cbo_on_s": times["on"],
+        "speedup": times["off"] / times["on"] if times["on"] > 0 else float("inf"),
+        "estimate_error_mean_q": est_mean,
+        "estimate_error_max_q": est_max,
+        "estimate_error_observations": est_n,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -429,6 +542,7 @@ def main(argv=None) -> int:
     tracing = bench_tracing_overhead(args.quick, repeats)
     telemetry_sink = bench_telemetry_sink(world, scale, args.quick)
     recovery = bench_recovery(args.quick, repeats)
+    planner = bench_planner(args.quick, repeats)
     pool.close()
 
     result = {
@@ -454,6 +568,7 @@ def main(argv=None) -> int:
         "tracing": tracing,
         "telemetry_sink": telemetry_sink,
         "recovery": recovery,
+        "planner": planner,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(result, indent=2) + "\n")

@@ -46,6 +46,16 @@ def main(argv=None) -> int:
         default=0.2,
         help="allowed fractional drop in speedup (0.2 = 20%%)",
     )
+    parser.add_argument(
+        "--planner-tolerance",
+        type=float,
+        default=0.5,
+        help=(
+            "allowed fractional drop in the planner (CBO) speedup; wider "
+            "than the scan tolerance because the ratio is large and the "
+            "slow side noisy, but never below the 2x hard floor"
+        ),
+    )
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -88,6 +98,26 @@ def main(argv=None) -> int:
         f"partitions: {float(recovery.get('open_s', 0)) * 1e3:.1f} ms)"
     )
     failed = failed or over
+
+    planner = current.get("planner")
+    base_planner = baseline.get("planner")
+    if planner is None or base_planner is None:
+        print("current or baseline file has no planner section", file=sys.stderr)
+        return 2
+    cur_cbo = float(planner["speedup"])
+    base_cbo = float(base_planner["speedup"])
+    # Hard floor of 2x: the cost-based optimizer must at least halve the
+    # skewed-join wall time, whatever the committed baseline says.
+    cbo_floor = max(2.0, base_cbo * (1.0 - args.planner_tolerance))
+    cbo_bad = cur_cbo < cbo_floor
+    print(
+        f"planner CBO speedup: current {cur_cbo:.2f}x, committed "
+        f"{base_cbo:.2f}x, floor {cbo_floor:.2f}x -> "
+        f"{'REGRESSION' if cbo_bad else 'OK'} "
+        f"(estimate q-error mean {float(planner['estimate_error_mean_q']):.2f}, "
+        f"max {float(planner['estimate_error_max_q']):.2f})"
+    )
+    failed = failed or cbo_bad
 
     return 1 if failed else 0
 

@@ -27,11 +27,14 @@ from .columnar import (
     ChunkMeta,
     PartitionManifest,
     ScanPredicate,
+    TableStats,
     array_nbytes,
     chunk_dir,
+    column_stats_from_array,
     decode_column,
     encode_column,
     manifest_allows,
+    rollup_table_stats,
 )
 from .journal import (
     Durability,
@@ -112,6 +115,8 @@ class Catalog:
         #: Temp views live outside the LRU: they have no backing file, so
         #: eviction would lose them rather than cost a re-read.
         self._temp: dict[str, Table] = {}
+        #: Table statistics memo for the binder, invalidated on any write.
+        self._stats: dict[tuple[str, str], TableStats | None] = {}
         self._databases: set[str] = {"default"}
         #: Monotonic transaction id; lazily floored against whatever ids
         #: already exist on the store so versioned chunk names never reuse
@@ -177,6 +182,7 @@ class Catalog:
         return self._cache
 
     def _on_invalidated(self, path: str) -> None:
+        self._stats.clear()
         self._cache.invalidate(path)
         self._manifests.pop(path, None)
 
@@ -424,6 +430,7 @@ class Catalog:
             self._temp.pop(old, None)
         self._tables.setdefault(key, {})[partition] = path
         self._schemas[key] = table.schema
+        self._stats.pop(key, None)
         if manifest is None:
             # The write invalidated any stale entry; cache the fresh table.
             self._cache.put(path, table, table.nbytes)
@@ -460,6 +467,7 @@ class Catalog:
         self._tables[key] = {self.DEFAULT_PARTITION: path}
         self._schemas[key] = table.schema
         self._temp[path] = table
+        self._stats.pop(key, None)
 
     def load(
         self,
@@ -599,6 +607,7 @@ class Catalog:
             )
         path = parts[partition]
         label = f"{database}.{name}/{partition}"
+        self._stats.pop(key, None)
         self._crash("catalog.drop.begin", label)
         if path in self._temp or not self._durability.journal:
             parts.pop(partition)
@@ -661,6 +670,44 @@ class Catalog:
             schema=self._schemas[key],
             partitions=tuple(sorted(self._tables[key])),
         )
+
+    def table_stats(
+        self, name: str, database: str = "default"
+    ) -> TableStats | None:
+        """Statistics for the binder: row count + per-column stats.
+
+        Temp views compute exact stats from the in-memory arrays; persisted
+        v2 tables roll up their partition zone maps without decoding any
+        chunk.  Tables with any v1 (npz) partition return ``None`` — the
+        binder falls back to conservative defaults rather than paying a
+        full decode on the planning path.  Results are memoized per table
+        and invalidated by saves, drops, temp re-registration, and any
+        store-level byte change.
+        """
+        key = self._resolve(name, database)
+        if key in self._stats:
+            return self._stats[key]
+        stats: TableStats | None
+        paths = [self._tables[key][p] for p in sorted(self._tables[key])]
+        if all(p in self._temp for p in paths):
+            # A temp view is a single in-memory partition; exact stats.
+            table = self._temp[paths[0]]
+            stats = TableStats(
+                rows=table.num_rows,
+                columns={
+                    col: column_stats_from_array(table.column(col))
+                    for col in table.schema.names
+                },
+                exact=True,
+            )
+        elif all(
+            p.endswith(MANIFEST_SUFFIX) and p not in self._temp for p in paths
+        ):
+            stats = rollup_table_stats([self._manifest(p) for p in paths])
+        else:
+            stats = None
+        self._stats[key] = stats
+        return stats
 
     def tables(self, database: str = "default") -> list[str]:
         """Table names in one database, sorted."""

@@ -79,29 +79,38 @@ class ZoneMap:
 
     ``min``/``max`` are ``None`` when the chunk has no non-null value
     (empty, or all-NaN float).  Only NaN counts as null — the platform has
-    no other null representation.
+    no other null representation.  ``distinct`` is the exact number of
+    distinct non-null values at encode time (``None`` on manifests written
+    before the binder existed); the cost-based optimizer sums it across
+    partitions as a cardinality upper bound.
     """
 
     count: int
     null_count: int
     min: Any = None
     max: Any = None
+    distinct: int | None = None
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "count": self.count,
             "null_count": self.null_count,
             "min": self.min,
             "max": self.max,
         }
+        if self.distinct is not None:
+            out["distinct"] = self.distinct
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "ZoneMap":
+        distinct = data.get("distinct")
         return cls(
             count=int(data["count"]),
             null_count=int(data["null_count"]),
             min=data.get("min"),
             max=data.get("max"),
+            distinct=None if distinct is None else int(distinct),
         )
 
 
@@ -116,14 +125,15 @@ def _comparable(bound, value) -> bool:
 class ScanPredicate:
     """One pushed-down conjunct a zone map can be tested against.
 
-    ``op`` is one of ``= <> < <= > >= in``; for ``in``, ``value`` is a
-    tuple of literals.  These describe the *storage-level* view of a SQL
-    conjunct — the full SQL predicate is still evaluated post-scan.
+    ``op`` is one of ``= <> < <= > >= in isnull notnull``; for ``in``,
+    ``value`` is a tuple of literals, for ``isnull``/``notnull`` it is
+    ignored.  These describe the *storage-level* view of a SQL conjunct —
+    the full SQL predicate is still evaluated post-scan.
     """
 
     column: str
     op: str
-    value: Any
+    value: Any = None
 
 
 def zone_allows(zone: ZoneMap, pred: ScanPredicate) -> bool:
@@ -135,6 +145,12 @@ def zone_allows(zone: ZoneMap, pred: ScanPredicate) -> bool:
     """
     if zone.count == 0:
         return False
+    if pred.op == "isnull":
+        # Only float NaN is null; int/string/bool chunks record null_count 0
+        # and IS NULL over them is vacuously false, so pruning them is exact.
+        return zone.null_count > 0
+    if pred.op == "notnull":
+        return zone.count - zone.null_count > 0
     lo, hi = zone.min, zone.max
     if pred.op == "<>":
         # NaN != literal is True under numpy semantics, so any null row
@@ -202,9 +218,9 @@ def encode_column(column: Column, arr: np.ndarray) -> tuple[bytes, ZoneMap]:
             uniq, codes = np.unique(strings, return_inverse=True)
             values = [str(v) for v in uniq.tolist()]
             body = codes.astype("<i4").tobytes()
-            zone = ZoneMap(n, 0, values[0], values[-1])
+            zone = ZoneMap(n, 0, values[0], values[-1], distinct=len(values))
         else:
-            values, body, zone = [], b"", ZoneMap(0, 0)
+            values, body, zone = [], b"", ZoneMap(0, 0, distinct=0)
         header["enc"] = "dict"
         header["dict"] = values
     elif column.ctype is ColumnType.BOOL:
@@ -216,6 +232,7 @@ def encode_column(column: Column, arr: np.ndarray) -> tuple[bytes, ZoneMap]:
             0,
             int(bools.min()) if n else None,
             int(bools.max()) if n else None,
+            distinct=len(np.unique(bools)) if n else 0,
         )
     else:
         dtype = "<i8" if column.ctype is ColumnType.INT else "<f8"
@@ -226,20 +243,23 @@ def encode_column(column: Column, arr: np.ndarray) -> tuple[bytes, ZoneMap]:
         if column.ctype is ColumnType.FLOAT:
             nulls = int(np.isnan(numeric).sum())
             if n - nulls:
+                present = numeric[~np.isnan(numeric)] if nulls else numeric
                 zone = ZoneMap(
                     n,
                     nulls,
                     _json_scalar(np.nanmin(numeric)),
                     _json_scalar(np.nanmax(numeric)),
+                    distinct=len(np.unique(present)),
                 )
             else:
-                zone = ZoneMap(n, nulls)
+                zone = ZoneMap(n, nulls, distinct=0)
         else:
             zone = ZoneMap(
                 n,
                 0,
                 int(numeric.min()) if n else None,
                 int(numeric.max()) if n else None,
+                distinct=len(np.unique(numeric)) if n else 0,
             )
     body, compressed = _maybe_compress(body)
     header["comp"] = compressed
@@ -400,3 +420,133 @@ def manifest_allows(
         if not zone_allows(meta.zone, pred):
             return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Table statistics (binder / cost-based optimizer surface)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Aggregated statistics for one column of one table.
+
+    ``distinct`` is an estimate (exact for temp views, a cross-partition
+    upper bound for persisted v2 tables, ``None`` when unknown).  Bounds
+    follow zone-map semantics: ``min``/``max`` cover non-null values only
+    and only float NaN counts as null.
+    """
+
+    rows: int
+    nulls: int
+    min: Any = None
+    max: Any = None
+    distinct: float | None = None
+
+    @property
+    def null_fraction(self) -> float:
+        return self.nulls / self.rows if self.rows else 0.0
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Row count plus per-column stats, as the binder consumes them.
+
+    ``exact`` distinguishes stats computed from a whole in-memory table
+    (temp views) from zone-map rollups, whose distinct counts can only
+    over-count across partitions.
+    """
+
+    rows: int
+    columns: dict[str, ColumnStats]
+    exact: bool = False
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+
+def column_stats_from_array(arr: np.ndarray) -> ColumnStats:
+    """Exact :class:`ColumnStats` for one in-memory column."""
+    n = len(arr)
+    if n == 0:
+        return ColumnStats(0, 0, distinct=0.0)
+    values = np.asarray(arr)
+    if values.dtype.kind == "f":
+        nan = np.isnan(values)
+        nulls = int(nan.sum())
+        present = values[~nan] if nulls else values
+        if not len(present):
+            return ColumnStats(n, nulls, distinct=0.0)
+        return ColumnStats(
+            n,
+            nulls,
+            _json_scalar(present.min()),
+            _json_scalar(present.max()),
+            distinct=float(len(np.unique(present))),
+        )
+    if values.dtype.kind == "O":
+        strings = np.asarray([str(v) for v in values.tolist()], dtype=object)
+        uniq = np.unique(strings)
+        return ColumnStats(
+            n, 0, str(uniq[0]), str(uniq[-1]), distinct=float(len(uniq))
+        )
+    return ColumnStats(
+        n,
+        0,
+        _json_scalar(values.min()),
+        _json_scalar(values.max()),
+        distinct=float(len(np.unique(values))),
+    )
+
+
+def _combine_bounds(a, b, pick):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if not _comparable(a, b):
+        return None
+    return pick(a, b)
+
+
+def rollup_table_stats(manifests: list[PartitionManifest]) -> TableStats:
+    """Fold per-partition zone maps into whole-table column statistics.
+
+    Distinct counts sum across partitions (an upper bound — partitions can
+    share values), additionally capped by the integer value span and the
+    non-null row count.  A column missing ``distinct`` in any partition
+    (pre-binder manifest) reports ``distinct=None``.
+    """
+    rows = sum(m.rows for m in manifests)
+    names: list[str] = []
+    for manifest in manifests:
+        for chunk in manifest.chunks:
+            if chunk.name not in names:
+                names.append(chunk.name)
+    columns: dict[str, ColumnStats] = {}
+    for name in names:
+        count = nulls = 0
+        lo = hi = None
+        distinct: float | None = 0.0
+        for manifest in manifests:
+            chunk = manifest.chunk(name)
+            if chunk is None:
+                continue
+            zone = chunk.zone
+            count += zone.count
+            nulls += zone.null_count
+            lo = _combine_bounds(lo, zone.min, min)
+            hi = _combine_bounds(hi, zone.max, max)
+            if distinct is not None and zone.distinct is not None:
+                distinct += zone.distinct
+            else:
+                distinct = None
+        if distinct is not None:
+            distinct = min(distinct, float(count - nulls))
+            if (
+                isinstance(lo, (int, np.integer))
+                and isinstance(hi, (int, np.integer))
+            ):
+                distinct = min(distinct, float(hi - lo + 1))
+        columns[name] = ColumnStats(count, nulls, lo, hi, distinct=distinct)
+    return TableStats(rows=rows, columns=columns, exact=False)

@@ -150,6 +150,13 @@ class UnionAllStatement:
     selects: tuple[SelectStatement, ...]
 
 
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN <select>``: return the bound optimized plan as text."""
+
+    statement: "SelectStatement | UnionAllStatement"
+
+
 from .functions import AGGREGATE_FUNCTIONS  # noqa: E402  (cycle-free import)
 
 

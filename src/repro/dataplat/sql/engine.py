@@ -1,19 +1,40 @@
 """Public SQL entry point.
 
-:class:`SQLEngine` glues the front-end together: it parses, plans, optimizes
-and executes queries against a :class:`~repro.dataplat.catalog.Catalog`, and
-can register in-memory tables (like Spark's ``createOrReplaceTempView``).
+:class:`SQLEngine` glues the front-end together: it parses, plans,
+optimizes, binds and executes queries against a
+:class:`~repro.dataplat.catalog.Catalog`, and can register in-memory
+tables (like Spark's ``createOrReplaceTempView``).
+
+Planning pipeline per query: parse → logical plan → rule-based optimize →
+**bind** (attach catalog statistics and ``est_rows``) → optionally the
+**cost-based optimizer** (join reorder, aggregate pushdown, early
+projection, join strategy), enabled by the ``cost_based`` flag or the
+``REPRO_CBO`` environment variable.  ``EXPLAIN <select>`` returns the
+final plan as a one-column table instead of executing it.
 """
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
+
 from ..catalog import Catalog
 from ..observability import span
 from ..table import Table
+from .ast_nodes import ExplainStatement, SelectStatement, UnionAllStatement
+from .binder import Binder
+from .cbo import optimize_cost_based
 from .executor import Executor
 from .parser import parse
 from .plan import PlanNode
 from .planner import build_plan, optimize
+
+_ENV_TRUTHY = ("1", "true", "yes", "on")
+
+
+def _env_cost_based() -> bool:
+    return os.environ.get("REPRO_CBO", "").strip().lower() in _ENV_TRUTHY
 
 
 class SQLEngine:
@@ -24,6 +45,10 @@ class SQLEngine:
     >>> engine.register(Table.from_arrays(x=np.array([1, 2, 3])), "t")
     >>> float(engine.query("SELECT SUM(x) AS total FROM t")["total"][0])
     6.0
+
+    ``cost_based`` turns on the statistics-driven optimizer; ``None``
+    (default) defers to the ``REPRO_CBO`` environment variable so whole
+    test suites can flip it without touching call sites.
     """
 
     def __init__(
@@ -31,14 +56,22 @@ class SQLEngine:
         catalog: Catalog | None = None,
         database: str = "default",
         scan_pruning: bool = True,
+        cost_based: bool | None = None,
     ) -> None:
         self._catalog = catalog if catalog is not None else Catalog()
         self._database = database
         self._scan_pruning = scan_pruning
+        self._cost_based = (
+            _env_cost_based() if cost_based is None else bool(cost_based)
+        )
 
     @property
     def catalog(self) -> Catalog:
         return self._catalog
+
+    @property
+    def cost_based(self) -> bool:
+        return self._cost_based
 
     def register(self, table: Table, name: str) -> None:
         """Register an in-memory table under ``name`` (temp view).
@@ -49,23 +82,56 @@ class SQLEngine:
         self._catalog.register_temp(table, name, database=self._database)
 
     def plan(self, sql: str, optimized: bool = True) -> PlanNode:
-        """Parse and plan a query without executing it."""
+        """Parse, plan and bind a query without executing it.
+
+        ``EXPLAIN`` prefixes are transparent here: the plan of the inner
+        statement is returned.
+        """
         with span("sql.parse"):
             stmt = parse(sql)
+        if isinstance(stmt, ExplainStatement):
+            stmt = stmt.statement
+        return self._plan_statement(stmt, optimized=optimized)
+
+    def _plan_statement(
+        self,
+        stmt: "SelectStatement | UnionAllStatement",
+        optimized: bool = True,
+    ) -> PlanNode:
         with span("sql.plan", optimized=optimized):
             plan = build_plan(stmt)
             if optimized:
                 plan = optimize(plan)
+        binder = Binder(self._catalog, self._database)
+        with span("sql.bind"):
+            binder.bind(plan)
+        if self._cost_based and optimized:
+            with span("sql.cbo"):
+                plan = optimize_cost_based(plan, binder)
         return plan
 
     def explain(self, sql: str) -> str:
-        """Readable optimized plan for a query."""
+        """Readable bound (and, if enabled, cost-optimized) plan."""
         return self.plan(sql).describe()
 
     def query(self, sql: str) -> Table:
-        """Execute a SELECT statement and return the result table."""
+        """Execute a SELECT statement and return the result table.
+
+        ``EXPLAIN <select>`` returns the plan text as a one-column table
+        (column ``plan``, one row per plan line) without executing.
+        """
         with span("sql.query", sql=sql.strip()[:80]) as sp:
-            plan = self.plan(sql)
+            with span("sql.parse"):
+                stmt = parse(sql)
+            if isinstance(stmt, ExplainStatement):
+                plan = self._plan_statement(stmt.statement)
+                lines = plan.describe().split("\n")
+                out = Table.from_arrays(
+                    plan=np.asarray(lines, dtype=object)
+                )
+                sp.incr("rows", out.num_rows)
+                return out
+            plan = self._plan_statement(stmt)
             executor = Executor(
                 self._catalog, self._database, scan_pruning=self._scan_pruning
             )

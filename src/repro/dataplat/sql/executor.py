@@ -41,12 +41,30 @@ from .plan import (
     Filter,
     Join,
     Limit,
+    Narrow,
     PlanNode,
     Project,
     Scan,
     Sort,
     UnionAll,
 )
+
+#: Buckets for the estimate-error q-factor ``(max+1)/(min+1)`` of
+#: estimated vs actual rows — 1.0 means a perfect estimate.  Every
+#: observer must pass these same boundaries (the registry enforces it).
+ESTIMATE_ERROR_BUCKETS = (1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 100.0, 1000.0)
+
+
+def _record_estimate(node: PlanNode, actual: int) -> None:
+    """Feed the planner's estimate-quality histogram for bound nodes."""
+    if node.est_rows is None:
+        return
+    if not isinstance(node, (Scan, Filter, Join, Aggregate)):
+        return
+    q = (max(node.est_rows, actual) + 1.0) / (min(node.est_rows, actual) + 1.0)
+    observability.get_metrics().histogram(
+        "planner.estimate_error_q", boundaries=ESTIMATE_ERROR_BUCKETS
+    ).observe(q)
 
 
 class Executor:
@@ -83,12 +101,17 @@ class Executor:
         the operator's output row count.
         """
         if not observability.enabled():
-            return self._dispatch(node)
+            out = self._dispatch(node)
+            _record_estimate(node, out.num_rows)
+            return out
         with observability.span(f"sql.{type(node).__name__.lower()}") as sp:
             if isinstance(node, Scan):
                 sp.set_tag("table", node.table)
+            if node.est_rows is not None:
+                sp.set_tag("est_rows", node.est_rows)
             out = self._dispatch(node)
             sp.incr("rows", out.num_rows)
+            _record_estimate(node, out.num_rows)
             return out
 
     def _dispatch(self, node: PlanNode) -> Table:
@@ -136,6 +159,14 @@ class Executor:
                     )
                 out = out.concat_rows(part)
             return out
+        if isinstance(node, Narrow):
+            child = self._run(node.child)
+            wanted = set(node.columns)
+            keep = [
+                c for c in child.schema.names
+                if c in wanted or c.rsplit(".", 1)[-1] in wanted
+            ]
+            return child.select(keep)
         if isinstance(node, Distinct):
             child = self._run(node.child)
             if child.num_rows == 0:
@@ -190,7 +221,12 @@ class Executor:
             rt = rt.with_column(
                 "__matched__", np.ones(rt.num_rows, dtype=bool)
             )
-        joined = lt.join(rt, on=tmp_names, how=node.kind)
+        joined = lt.join(
+            rt,
+            on=tmp_names,
+            how=node.kind,
+            strategy=getattr(node, "strategy", "hash"),
+        )
         joined = joined.drop(tmp_names)
         if residual is not None:
             mask = _as_bool(evaluate(residual, joined), residual)
@@ -409,7 +445,9 @@ def _like_match(values: np.ndarray, pattern: str) -> np.ndarray:
                 return np.char.endswith(strings, body)
             return strings == body
     regex = _like_regex(pattern)
-    return np.asarray([bool(regex.fullmatch(v)) for v in strings])
+    # dtype=bool matters for the 0-row case: a bare empty list would
+    # default to float64 and break the caller's ``~result`` negation.
+    return np.asarray([bool(regex.fullmatch(v)) for v in strings], dtype=bool)
 
 
 def _like_regex(pattern: str) -> "re.Pattern[str]":

@@ -61,12 +61,15 @@ _WORDS = ("alpha", "beta", "gamma", "delta", "alde", "a_pha", "", "betamax")
 
 
 def make_fuzz_tables(seed: int, num_rows: int = 96) -> dict[str, Table]:
-    """Two small tables (``t`` and ``u``) with int/float/string columns.
+    """Three small tables (``t``, ``u``, ``v``) with int/float/string columns.
 
     Floats are quarter-integer multiples so sums and averages stay exactly
     representable — the engine and the reference then agree bit-for-bit and
     the comparison tolerance only has to absorb genuine rounding, not
-    accumulation-order noise.
+    accumulation-order noise.  ``v`` is the smallest and uses a wider
+    ``grp`` range so join-chain keys mix selectivities (``grp`` fans out,
+    ``id`` is near-unique); it is drawn *after* ``t`` and ``u`` so their
+    contents are unchanged for any fixed seed.
     """
     rng = np.random.default_rng((seed, 0xF022))
     t = Table.from_arrays(
@@ -83,7 +86,14 @@ def make_fuzz_tables(seed: int, num_rows: int = 96) -> dict[str, Table]:
         val2=rng.integers(-8, 9, size=m) * 0.25,
         cat2=np.asarray(rng.choice(_WORDS, size=m)),
     )
-    return {"t": t, "u": u}
+    m2 = max(num_rows // 3, 4)
+    v = Table.from_arrays(
+        id=np.arange(m2, dtype=np.int64),
+        grp=rng.integers(0, 7, size=m2),
+        val3=rng.integers(-6, 7, size=m2) * 0.25,
+        cat3=np.asarray(rng.choice(_WORDS, size=m2)),
+    )
+    return {"t": t, "u": u, "v": v}
 
 
 # ----------------------------------------------------------------------
@@ -91,6 +101,9 @@ def make_fuzz_tables(seed: int, num_rows: int = 96) -> dict[str, Table]:
 # ----------------------------------------------------------------------
 
 _NUMERIC_COLS = ("id", "grp", "val", "dur")
+
+#: String column per join-alias qualifier (``t a``, ``u b``, ``v c``).
+_QUAL_STRING = {"": "cat", "a.": "cat", "b.": "cat2", "c.": "cat3"}
 _LIKE_PATTERNS = (
     "al%",       # prefix fast path
     "%ta",       # suffix fast path
@@ -143,7 +156,7 @@ def _gen_predicate(rng, depth: int = 0, qualifier: str = "") -> str:
     if kind < 0.65:
         pattern = rng.choice(_LIKE_PATTERNS)
         negated = "NOT " if rng.random() < 0.25 else ""
-        col = f"{q}cat" if not q or q == "a." else f"{q}cat2"
+        col = f"{q}{_QUAL_STRING[q]}"
         return f"{col} {negated}LIKE '{pattern}'"
     if kind < 0.8:
         col = rng.choice(("grp", "id"))
@@ -266,20 +279,65 @@ def _gen_join_query(rng) -> str:
     return sql
 
 
+def _gen_join_chain_query(rng) -> str:
+    """Three-table chains (``t a ⋈ u b ⋈ c``) with mixed key selectivities.
+
+    ``grp`` keys fan out (few distinct values), ``id`` keys are near-unique,
+    and the second join may anchor on either earlier table — exactly the
+    shapes the cost-based reorderer and aggregate pushdown rewrite, so the
+    differential suite pins their result-invariance.
+    """
+    cols = (
+        "a.id", "a.val", "a.cat", "a.dur",
+        "b.val2", "b.cat2", "b.id",
+        "c.val3", "c.cat3", "c.grp",
+    )
+    items = [str(rng.choice(cols)) for _ in range(int(rng.integers(2, 6)))]
+    distinct = "DISTINCT " if rng.random() < 0.2 else ""
+    key1 = str(rng.choice(["grp", "id"]))
+    kind1 = "LEFT JOIN" if rng.random() < 0.25 else "JOIN"
+    cond1 = f"a.{key1} = b.{key1}"
+    if rng.random() < 0.4:
+        side = str(rng.choice(["a.", "b."]))
+        cond1 += f" AND {_gen_predicate(rng, depth=1, qualifier=side)}"
+    anchor = str(rng.choice(["a", "b"]))
+    key2 = str(rng.choice(["grp", "id"]))
+    kind2 = "LEFT JOIN" if rng.random() < 0.25 else "JOIN"
+    cond2 = f"{anchor}.{key2} = c.{key2}"
+    if rng.random() < 0.4:
+        cond2 += f" AND {_gen_predicate(rng, depth=1, qualifier='c.')}"
+    sql = (
+        f"SELECT {distinct}{', '.join(_alias(items))} FROM t a "
+        f"{kind1} u b ON {cond1} {kind2} v c ON {cond2}"
+    )
+    conjuncts = []
+    if rng.random() < 0.5:
+        conjuncts.append(_gen_predicate(rng, depth=1, qualifier="a."))
+    if rng.random() < 0.4:
+        conjuncts.append(_gen_predicate(rng, depth=1, qualifier="b."))
+    if rng.random() < 0.4:
+        conjuncts.append(_gen_predicate(rng, depth=1, qualifier="c."))
+    if conjuncts:
+        sql += f" WHERE {' AND '.join(conjuncts)}"
+    return sql
+
+
 def generate_queries(seed: int, count: int) -> list[str]:
     """``count`` deterministic queries for ``seed`` (same seed, same list)."""
     rng = np.random.default_rng((seed, 0x50F7))
     out = []
     for _ in range(count):
         roll = rng.random()
-        if roll < 0.40:
+        if roll < 0.34:
             out.append(_gen_plain_query(rng))
-        elif roll < 0.70:
+        elif roll < 0.62:
             out.append(_gen_group_query(rng))
-        elif roll < 0.85:
+        elif roll < 0.76:
             out.append(_gen_global_agg_query(rng))
-        else:
+        elif roll < 0.90:
             out.append(_gen_join_query(rng))
+        else:
+            out.append(_gen_join_chain_query(rng))
     return out
 
 

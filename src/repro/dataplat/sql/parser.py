@@ -27,6 +27,7 @@ from ...errors import SQLSyntaxError
 from .ast_nodes import (
     Between,
     BinaryOp,
+    ExplainStatement,
     Like,
     UnionAllStatement,
     CaseWhen,
@@ -47,9 +48,10 @@ from .ast_nodes import (
 from .lexer import Token, TokenType, tokenize
 
 
-def parse(sql: str) -> "SelectStatement | UnionAllStatement":
-    """Parse one SELECT statement, or a UNION ALL chain of them."""
+def parse(sql: str) -> "SelectStatement | UnionAllStatement | ExplainStatement":
+    """Parse one SELECT statement, a UNION ALL chain, or an EXPLAIN."""
     parser = _Parser(tokenize(sql))
+    explain = parser._match_keyword("EXPLAIN") is not None
     selects = [parser.parse_select(top_level=False)]
     while parser._match_keyword("UNION"):
         parser._expect_keyword("ALL")
@@ -59,9 +61,8 @@ def parse(sql: str) -> "SelectStatement | UnionAllStatement":
         raise SQLSyntaxError(
             f"unexpected trailing input: {tail.value!r}", position=tail.position
         )
-    if len(selects) == 1:
-        return selects[0]
-    return UnionAllStatement(tuple(selects))
+    stmt = selects[0] if len(selects) == 1 else UnionAllStatement(tuple(selects))
+    return ExplainStatement(stmt) if explain else stmt
 
 
 class _Parser:

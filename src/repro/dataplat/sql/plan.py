@@ -16,19 +16,34 @@ from .ast_nodes import Expr, OrderItem, SelectItem
 class PlanNode:
     """Base class for logical plan operators."""
 
+    #: Estimated output rows, set by the binder (None = never bound).
+    #: A plain attribute rather than a dataclass field so node equality
+    #: (which plan-shape tests rely on) ignores the annotation.
+    est_rows: float | None = None
+
     def children(self) -> tuple["PlanNode", ...]:
         return ()
 
     def describe(self, indent: int = 0) -> str:
         """Readable plan tree (for EXPLAIN)."""
         pad = "  " * indent
-        lines = [f"{pad}{self._label()}"]
+        label = self._label()
+        if self.est_rows is not None:
+            label += f" [est_rows={format_rows(self.est_rows)}]"
+        lines = [f"{pad}{label}"]
         for child in self.children():
             lines.append(child.describe(indent + 1))
         return "\n".join(lines)
 
     def _label(self) -> str:
         return type(self).__name__
+
+
+def format_rows(est: float) -> str:
+    """Compact row estimate for plan labels: integers unless tiny."""
+    if est >= 10 or est == int(est):
+        return f"{est:.0f}"
+    return f"{est:.2f}"
 
 
 @dataclass
@@ -73,16 +88,25 @@ class Filter(PlanNode):
 
 @dataclass
 class Join(PlanNode):
+    """Equi-join; ``strategy`` is chosen by the cost-based optimizer.
+
+    ``"hash"`` is the default bucket-count join; ``"merge"`` probes a
+    sorted copy of the right side with binary search — same output,
+    bit-for-bit, chosen when both inputs are large and keys are
+    high-cardinality (few matches per key).
+    """
+
     left: PlanNode
     right: PlanNode
     kind: str  # "inner" | "left"
     condition: Expr
+    strategy: str = "hash"  # "hash" | "merge"
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.left, self.right)
 
     def _label(self) -> str:
-        return f"Join({self.kind}, on={self.condition!r})"
+        return f"Join({self.kind}, {self.strategy}, on={self.condition!r})"
 
 
 @dataclass
@@ -137,6 +161,26 @@ class Limit(PlanNode):
 
     def _label(self) -> str:
         return f"Limit({self.count})"
+
+
+@dataclass
+class Narrow(PlanNode):
+    """Early projection inserted by the cost-based optimizer.
+
+    Keeps only ``columns`` (qualified names) of the child's output —
+    used between chained joins to stop carrying key/payload columns no
+    operator above references.  Selection is an intersection, so a column
+    the child does not produce is ignored rather than an error.
+    """
+
+    child: PlanNode
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"Narrow({len(self.columns)} cols)"
 
 
 @dataclass

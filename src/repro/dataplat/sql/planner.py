@@ -24,6 +24,7 @@ from .ast_nodes import (
     ColumnRef,
     Expr,
     InList,
+    IsNull,
     Literal,
     OrderItem,
     SelectStatement,
@@ -352,6 +353,13 @@ def _as_scan_predicate(term: Expr, binding: str) -> ScanPredicate | None:
             value = item.value
             values.append(int(value) if isinstance(value, bool) else value)
         return ScanPredicate(column, "in", tuple(values))
+    if isinstance(term, IsNull) and isinstance(term.operand, ColumnRef):
+        # Zone maps track null_count, so IS [NOT] NULL prunes exactly:
+        # only float NaN is null, and all-null chunks keep min/max=None.
+        column = _scan_column(term.operand, binding)
+        if column is None:
+            return None
+        return ScanPredicate(column, "notnull" if term.negated else "isnull")
     return None
 
 

@@ -60,7 +60,7 @@ class TestChunkCodec:
             col = Column("c", ColumnType(ctype))
             dtype = {"string": object, "bool": bool}.get(ctype, np.float64)
             payload, zone = encode_column(col, np.empty(0, dtype=dtype))
-            assert zone == ZoneMap(0, 0)
+            assert zone == ZoneMap(0, 0, distinct=0)
             assert len(decode_column(payload)) == 0
 
     def test_decoded_arrays_writable(self):
@@ -78,12 +78,12 @@ class TestChunkCodec:
     def test_float_zone_ignores_nan(self):
         col = Column("c", ColumnType.FLOAT)
         _, zone = encode_column(col, np.array([np.nan, 2.0, -1.0, np.nan]))
-        assert zone == ZoneMap(4, 2, -1.0, 2.0)
+        assert zone == ZoneMap(4, 2, -1.0, 2.0, distinct=2)
 
     def test_all_nan_zone_has_no_bounds(self):
         col = Column("c", ColumnType.FLOAT)
         _, zone = encode_column(col, np.array([np.nan, np.nan]))
-        assert zone == ZoneMap(2, 2, None, None)
+        assert zone == ZoneMap(2, 2, None, None, distinct=0)
 
     def test_unknown_encoding_rejected(self):
         with pytest.raises(StorageError):
@@ -141,6 +141,31 @@ class TestZoneAllows:
         zone = ZoneMap(5, 0, "beta", "delta")
         assert zone_allows(zone, ScanPredicate("c", "=", "cat"))
         assert not zone_allows(zone, ScanPredicate("c", "=", "zebra"))
+
+    def test_is_null_prunes_by_null_count(self):
+        no_nulls = ZoneMap(10, 0, 0, 9)
+        some_nulls = ZoneMap(10, 3, 0, 9)
+        assert not zone_allows(no_nulls, ScanPredicate("c", "isnull"))
+        assert zone_allows(some_nulls, ScanPredicate("c", "isnull"))
+
+    def test_is_not_null_prunes_all_null_chunks(self):
+        all_null = ZoneMap(4, 4, None, None)
+        some_nulls = ZoneMap(10, 3, 0, 9)
+        assert not zone_allows(all_null, ScanPredicate("c", "notnull"))
+        assert zone_allows(some_nulls, ScanPredicate("c", "notnull"))
+
+    def test_null_ops_on_empty_chunk(self):
+        empty = ZoneMap(0, 0)
+        assert not zone_allows(empty, ScanPredicate("c", "isnull"))
+        assert not zone_allows(empty, ScanPredicate("c", "notnull"))
+
+    def test_distinct_survives_manifest_round_trip(self):
+        zone = ZoneMap(10, 2, 0, 9, distinct=7)
+        assert ZoneMap.from_dict(zone.to_dict()) == zone
+        # Manifests written before the binder existed omit distinct.
+        legacy = dict(zone.to_dict())
+        legacy.pop("distinct")
+        assert ZoneMap.from_dict(legacy).distinct is None
 
     def test_manifest_unknown_column_cannot_prune(self):
         catalog = Catalog()

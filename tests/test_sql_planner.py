@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.dataplat.catalog import Catalog
 from repro.dataplat.sql import SQLEngine
 from repro.dataplat.sql.parser import parse
 from repro.dataplat.sql.plan import Aggregate, Filter, Join, Limit, Project, Scan, Sort
@@ -146,3 +147,82 @@ class TestPrunedPlansStillExecute:
         raw = Executor(eng.catalog).execute(eng.plan(sql, optimized=False))
         opt = Executor(eng.catalog).execute(eng.plan(sql, optimized=True))
         assert raw == opt
+
+
+class TestNullPredicatePushdown:
+    """IS [NOT] NULL conjuncts become storage-level scan predicates."""
+
+    def _scan_preds(self, sql):
+        plan = optimize(build_plan(parse(sql)))
+        scan = find_nodes(plan, Scan)[0]
+        return {(p.column, p.op) for p in scan.predicate}
+
+    def test_is_null_pushed(self):
+        preds = self._scan_preds("SELECT a FROM t WHERE b IS NULL")
+        assert ("b", "isnull") in preds
+
+    def test_is_not_null_pushed(self):
+        preds = self._scan_preds("SELECT a FROM t WHERE b IS NOT NULL")
+        assert ("b", "notnull") in preds
+
+    def test_null_check_on_expression_not_pushed(self):
+        preds = self._scan_preds("SELECT a FROM t WHERE a + b IS NULL")
+        assert preds == set()
+
+    def test_is_null_prunes_nan_free_partitions(self):
+        # Int columns record null_count 0 in every zone map, so IS NULL
+        # over them prunes all partitions and returns an empty result with
+        # the right schema.
+        catalog = Catalog()
+        for month in (1, 2):
+            catalog.save(
+                Table.from_arrays(
+                    month=np.full(100, month, dtype=np.int64),
+                    v=np.arange(100, dtype=np.float64),
+                ),
+                "cdr",
+                partition=f"month={month}",
+            )
+        engine = SQLEngine(catalog)
+        pruned_before = catalog.store.health.partitions_pruned
+        out = engine.query("SELECT v FROM cdr WHERE month IS NULL")
+        assert out.num_rows == 0
+        assert out.schema.names == ("v",)
+        assert catalog.store.health.partitions_pruned > pruned_before
+
+    def test_is_null_keeps_partitions_with_nans(self):
+        catalog = Catalog()
+        clean = np.arange(100, dtype=np.float64)
+        dirty = clean.copy()
+        dirty[::10] = np.nan
+        catalog.save(
+            Table.from_arrays(v=clean, k=np.zeros(100, dtype=np.int64)),
+            "m", partition="p0",
+        )
+        catalog.save(
+            Table.from_arrays(v=dirty, k=np.ones(100, dtype=np.int64)),
+            "m", partition="p1",
+        )
+        engine = SQLEngine(catalog)
+        out = engine.query("SELECT k FROM m WHERE v IS NULL")
+        assert out.num_rows == 10
+        assert set(int(x) for x in out["k"]) == {1}
+        nonnull = engine.query("SELECT k FROM m WHERE v IS NOT NULL")
+        assert nonnull.num_rows == 190
+
+    def test_pruned_empty_scan_evaluates_like(self):
+        # Regression: a fully pruned scan feeds 0 rows into the filter;
+        # NOT LIKE's regex path must still produce a boolean mask there.
+        catalog = Catalog()
+        catalog.save(
+            Table.from_arrays(
+                grp=np.arange(10, dtype=np.int64),
+                cat=np.asarray(list("abcdefghij"), dtype=object),
+            ),
+            "t", partition="p0",
+        )
+        engine = SQLEngine(catalog)
+        out = engine.query(
+            "SELECT cat FROM t WHERE cat NOT LIKE '_x' AND grp IS NULL"
+        )
+        assert out.num_rows == 0
