@@ -33,6 +33,7 @@ import time
 import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
 
 from repro.config import ScaleConfig
 from repro.datagen import TelcoSimulator
@@ -49,7 +50,7 @@ DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_micro.json"
 
 #: Bump when the BENCH_micro.json layout changes, so downstream dashboards
 #: and the CI diff job can refuse to compare incompatible files.
-BENCH_SCHEMA_VERSION = 6
+BENCH_SCHEMA_VERSION = 7
 
 #: Telemetry sinking must stay below this fraction of window wall time.
 SINK_BUDGET = 0.05
@@ -505,6 +506,25 @@ def bench_planner(quick: bool, repeats: int):
     }
 
 
+def bench_serve(quick: bool):
+    """Online scoring service under a seeded open-loop load.
+
+    Drives :func:`load_gen.run_load` (the same entry point as the
+    ``benchmarks/load_gen.py`` CLI): synthetic snapshot through the
+    feature store, compact forest behind the model registry, Poisson
+    arrivals micro-batched by the :class:`ScoringService`.  Arrival
+    times are seeded; per-batch service time is measured wall-clock, so
+    ``p99_ms``/``throughput_rps`` reflect real vectorized-predict
+    latency.  The section carries its own hard floors (``floor``) and
+    ``scripts/check_bench_regression.py`` gates on them.
+    """
+    from load_gen import run_load
+
+    if quick:
+        return run_load(population=2000, rate_rps=6000.0, duration_s=1.0)
+    return run_load(population=5000, rate_rps=6000.0, duration_s=2.0)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -543,6 +563,7 @@ def main(argv=None) -> int:
     telemetry_sink = bench_telemetry_sink(world, scale, args.quick)
     recovery = bench_recovery(args.quick, repeats)
     planner = bench_planner(args.quick, repeats)
+    serve = bench_serve(args.quick)
     pool.close()
 
     result = {
@@ -569,6 +590,7 @@ def main(argv=None) -> int:
         "telemetry_sink": telemetry_sink,
         "recovery": recovery,
         "planner": planner,
+        "serve": serve,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(result, indent=2) + "\n")

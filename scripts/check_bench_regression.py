@@ -119,6 +119,26 @@ def main(argv=None) -> int:
     )
     failed = failed or cbo_bad
 
+    serve = current.get("serve")
+    if serve is None:
+        print("current file has no serve section", file=sys.stderr)
+        return 2
+    # The serve section ships its own hard floors (absolute SLOs, not
+    # relative-to-baseline: a quick CI box must still clear them).
+    floor = serve.get("floor", {})
+    rps = float(serve["throughput_rps"])
+    rps_floor = float(floor.get("throughput_rps", 5000.0))
+    p99 = float(serve["p99_ms"])
+    p99_floor = float(floor.get("p99_ms", 50.0))
+    serve_bad = rps < rps_floor or p99 > p99_floor
+    print(
+        f"serve load: {rps:,.0f} req/s (floor {rps_floor:,.0f}), "
+        f"p99 {p99:.2f} ms (budget {p99_floor:.0f} ms), "
+        f"shed {serve.get('shed', '?')} -> "
+        f"{'REGRESSION' if serve_bad else 'OK'}"
+    )
+    failed = failed or serve_bad
+
     return 1 if failed else 0
 
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 import bisect
 import functools
 import json
+import math
 import time
 from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager
@@ -466,6 +467,28 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Conservative ``q``-quantile from the bucket counts.
+
+        Returns the smallest bucket upper bound that covers at least
+        ``ceil(q * total)`` observations — an over-estimate by at most one
+        bucket width, which is the right direction for an SLO gauge (a
+        latency budget can only be *falsely breached*, never falsely met).
+        Observations in the overflow bucket report the exact observed
+        maximum.  An empty histogram returns ``0.0``.
+        """
+        if not 0.0 < q <= 1.0:
+            raise DataPlatformError(f"quantile q must be in (0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        target = math.ceil(q * self.total)
+        covered = 0
+        for bound, count in zip(self.boundaries, self.counts):
+            covered += count
+            if covered >= target:
+                return bound
+        return self.max
 
     def merge(self, other: "Histogram") -> "Histogram":
         """A new histogram combining both operands (inputs untouched)."""

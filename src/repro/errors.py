@@ -83,6 +83,18 @@ class FeatureError(ReproError):
     """Feature engineering failed (missing table, bad category, ...)."""
 
 
+class ServeError(ReproError):
+    """The online scoring service was misused or misconfigured.
+
+    Raised for request-path contract violations (unknown customer id,
+    non-monotone clock, double-terminal transition) and for serving
+    configuration errors; *load*-related conditions (queue full, deadline
+    missed, storage faults) are never exceptions — they become terminal
+    request outcomes instead, so an overloaded service degrades rather
+    than crashes.
+    """
+
+
 class SimulationError(ReproError):
     """The synthetic telco simulator was driven with invalid arguments."""
 

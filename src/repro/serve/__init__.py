@@ -1,0 +1,43 @@
+"""Online churn-scoring service.
+
+The serving stack the batch platform was missing: a
+:class:`FeatureStore` materializing wide-table snapshots for point
+lookups, a :class:`ModelRegistry` swapping trained models atomically,
+and a :class:`ScoringService` micro-batching concurrent requests into
+vectorized predicts under admission control — plus a deterministic load
+generator and the watchtower SLO rules for the hot path.
+"""
+
+from .feature_store import SERVE_DATABASE, FeatureStore, SnapshotInfo
+from .loadgen import ArrivalPlan, LoadProfile, LoadReport, arrival_plan, drive
+from .registry import ModelRegistry
+from .rules import serve_rules
+from .service import (
+    SERVE_LATENCY_BUCKETS,
+    TERMINAL_OUTCOMES,
+    FixedServiceTime,
+    MeasuredServiceTime,
+    ScoreRequest,
+    ScoringService,
+    ServeConfig,
+)
+
+__all__ = [
+    "SERVE_DATABASE",
+    "SERVE_LATENCY_BUCKETS",
+    "TERMINAL_OUTCOMES",
+    "ArrivalPlan",
+    "FeatureStore",
+    "FixedServiceTime",
+    "LoadProfile",
+    "LoadReport",
+    "MeasuredServiceTime",
+    "ModelRegistry",
+    "ScoreRequest",
+    "ScoringService",
+    "ServeConfig",
+    "SnapshotInfo",
+    "arrival_plan",
+    "drive",
+    "serve_rules",
+]

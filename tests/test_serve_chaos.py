@@ -1,0 +1,286 @@
+"""Chaos tests: the serving path under injected storage and swap faults.
+
+Faults are injected with the platform's seeded
+:class:`~repro.dataplat.resilience.FaultInjector`, so every run sees the
+same fault sequence.  The service must degrade gracefully — absorbed
+retries, ``failed`` outcomes instead of crashes, stale-model fallback —
+and the watchtower must fire *exactly* the expected SLO alerts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataplat import observability
+from repro.dataplat.resilience import (
+    FaultInjector,
+    FaultPolicy,
+    RetryPolicy,
+    SimClock,
+)
+from repro.dataplat.telemetry import TelemetrySink, TelemetryWarehouse
+from repro.core.watchtower import Watchtower
+from repro.errors import TransientError
+from repro.features.spec import FeatureMatrix
+from repro.serve import (
+    FeatureStore,
+    FixedServiceTime,
+    LoadProfile,
+    ModelRegistry,
+    ScoringService,
+    ServeConfig,
+    arrival_plan,
+    drive,
+    serve_rules,
+)
+
+POPULATION = 300
+N_FEATURES = 4
+
+
+class LinearStub:
+    def __init__(self) -> None:
+        self.w = np.random.default_rng(1).normal(size=N_FEATURES)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-(x @ self.w)))
+
+
+def make_matrix() -> FeatureMatrix:
+    rng = np.random.default_rng(8)
+    return FeatureMatrix(
+        imsi=(40_000 + np.arange(POPULATION)).astype(np.int64),
+        names=[f"f{i}" for i in range(N_FEATURES)],
+        values=rng.normal(size=(POPULATION, N_FEATURES)),
+    )
+
+
+def chaos_store(
+    injector: FaultInjector, retry: RetryPolicy | None, cache_rows: int = 0
+) -> tuple[FeatureStore, np.ndarray]:
+    """A store whose catalog scans fail per the injector's read stream."""
+    matrix = make_matrix()
+    store = FeatureStore(
+        cache_rows=cache_rows, retry_policy=retry, clock=SimClock()
+    )
+    store.materialize(matrix, "chaos", buckets=4)
+    real_scan = store.catalog.scan
+
+    def faulty_scan(*args, **kwargs):
+        if injector.should("read_failure"):
+            raise TransientError("injected block-store read failure")
+        return real_scan(*args, **kwargs)
+
+    store.catalog.scan = faulty_scan
+    return store, matrix.imsi
+
+
+def make_service(store: FeatureStore, registry=None, **overrides):
+    if registry is None:
+        registry = ModelRegistry()
+        registry.publish("v1", LinearStub(), activate=True)
+    defaults = dict(
+        max_batch=16,
+        batch_window_s=0.002,
+        max_queue_depth=128,
+        score_cache_rows=0,  # keep the fault-injected read path hot
+    )
+    defaults.update(overrides)
+    return ScoringService(
+        store,
+        registry,
+        ServeConfig(**defaults),
+        service_time=FixedServiceTime(base_s=0.001, per_row_s=0.00005),
+    )
+
+
+class TestStorageChaos:
+    def test_reads_faults_degrade_to_failed_outcomes_not_crashes(
+        self, capture_spans
+    ):
+        """45% scan-failure rate with a 2-attempt retry: some fetches are
+        absorbed, some batches fail — but every request terminates and
+        the service keeps scoring."""
+        injector = FaultInjector(
+            FaultPolicy(read_failure_rate=0.45), seed=21
+        )
+        retry = RetryPolicy(max_attempts=2, base_delay=0.001, seed=21)
+        store, imsi = chaos_store(injector, retry)
+        service = make_service(store)
+        plan = arrival_plan(
+            LoadProfile(
+                rate_rps=2000, duration_s=0.4, population=POPULATION, seed=6
+            ),
+            customer_ids=imsi,
+        )
+        report = drive(service, plan)
+
+        assert injector.injected["read_failure"] > 0
+        assert report.unaccounted == 0
+        assert report.scored > 0, "service stopped serving under chaos"
+        assert report.failed > 0, "expected some batches to exhaust retries"
+        metrics = observability.get_metrics()
+        assert metrics.counter("serve.failures").value == report.failed
+
+    def test_retry_absorbs_low_fault_rate_completely(self, capture_spans):
+        """A mild fault rate under a deeper retry budget: zero failed."""
+        injector = FaultInjector(
+            FaultPolicy(read_failure_rate=0.10), seed=3
+        )
+        retry = RetryPolicy(max_attempts=4, base_delay=0.001, seed=3)
+        store, imsi = chaos_store(injector, retry)
+        service = make_service(store)
+        plan = arrival_plan(
+            LoadProfile(
+                rate_rps=1000, duration_s=0.3, population=POPULATION, seed=9
+            ),
+            customer_ids=imsi,
+        )
+        report = drive(service, plan)
+        assert injector.injected["read_failure"] > 0
+        assert report.failed == 0
+        assert report.scored == report.submitted
+
+    def test_chaos_runs_are_deterministic(self, capture_spans):
+        outcomes = []
+        for _ in range(2):
+            injector = FaultInjector(
+                FaultPolicy(read_failure_rate=0.45), seed=21
+            )
+            retry = RetryPolicy(max_attempts=2, base_delay=0.001, seed=21)
+            store, imsi = chaos_store(injector, retry)
+            service = make_service(store)
+            plan = arrival_plan(
+                LoadProfile(
+                    rate_rps=2000,
+                    duration_s=0.4,
+                    population=POPULATION,
+                    seed=6,
+                ),
+                customer_ids=imsi,
+            )
+            report = drive(service, plan)
+            outcomes.append(
+                (report.scored, report.failed, injector.total_injected)
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestSwapChaos:
+    def test_failed_swap_mid_traffic_serves_stale_model(self, capture_spans):
+        store, imsi = chaos_store(FaultInjector.disabled(), retry=None)
+        v1 = LinearStub()
+        registry = ModelRegistry()
+        registry.publish("v1", v1, activate=True)
+        registry.publish("v2", LinearStub())
+        service = make_service(store, registry=registry)
+
+        first = [service.submit(int(c), now=0.0) for c in imsi[:20]]
+        service.drain()
+
+        def exploding_loader():
+            raise TransientError("model artifact fetch failed")
+
+        assert registry.activate("v2", loader=exploding_loader) is False
+        assert registry.active_version == "v1"
+
+        second = [service.submit(int(c), now=1.0) for c in imsi[20:40]]
+        service.drain()
+
+        for t in first + second:
+            assert t.outcome == "scored"
+            assert t.model_version == "v1"  # stale fallback, not a crash
+        metrics = observability.get_metrics()
+        assert metrics.counter("serve.model_swap_failures").value == 1
+        # only the initial v1 activation counted as a completed swap
+        assert metrics.counter("serve.model_swaps").value == 1
+
+
+def _sink_window(service, run_id):
+    """Fold the SLO gauges and drive one telemetry window + evaluation."""
+    warehouse = TelemetryWarehouse()
+    service.slo_snapshot()
+    sink = TelemetrySink(
+        warehouse, run_id, metrics=observability.get_metrics()
+    )
+    sink.record_window(0)
+    tower = Watchtower(warehouse, serve_rules())
+    return [a.rule for a in tower.evaluate(run_id, 0)]
+
+
+class TestWatchtowerAlerts:
+    """Each scenario asserts the *exact* fired-alert set."""
+
+    def test_clean_run_fires_nothing(self, capture_spans):
+        store, imsi = chaos_store(
+            FaultInjector.disabled(), retry=None, cache_rows=POPULATION
+        )
+        service = make_service(store)
+        plan = arrival_plan(
+            LoadProfile(
+                rate_rps=1000, duration_s=0.3, population=POPULATION, seed=2
+            ),
+            customer_ids=imsi,
+        )
+        drive(service, plan)
+        assert _sink_window(service, "serve-clean") == []
+
+    def test_overload_and_failed_swap_fire_shed_and_swap_alerts(
+        self, capture_spans
+    ):
+        store, imsi = chaos_store(
+            FaultInjector.disabled(), retry=None, cache_rows=POPULATION
+        )
+        registry = ModelRegistry()
+        registry.publish("v1", LinearStub(), activate=True)
+        # ~4 rows / 4.2 ms ≈ 950 req/s of capacity against 4000 offered:
+        # admission control must shed hard while scored latency stays
+        # bounded by the tiny queue.
+        service = ScoringService(
+            store,
+            registry,
+            ServeConfig(
+                max_batch=4,
+                batch_window_s=0.001,
+                max_queue_depth=8,
+                score_cache_rows=0,
+            ),
+            service_time=FixedServiceTime(base_s=0.004, per_row_s=0.00005),
+        )
+        plan = arrival_plan(
+            LoadProfile(
+                rate_rps=4000, duration_s=0.3, population=POPULATION, seed=5
+            ),
+            customer_ids=imsi,
+        )
+        report = drive(service, plan)
+        assert report.shed > 0
+        assert report.p99_s <= 0.050  # latency SLO still met while shedding
+
+        def exploding_loader():
+            raise TransientError("artifact store down")
+
+        registry.publish("v2", LinearStub())
+        assert registry.activate("v2", loader=exploding_loader) is False
+
+        fired = _sink_window(service, "serve-overload")
+        assert fired == ["serve-shed-spike", "serve-model-swap-failed"]
+
+    def test_slow_model_fires_p99_breach_only(self, capture_spans):
+        store, imsi = chaos_store(
+            FaultInjector.disabled(), retry=None, cache_rows=POPULATION
+        )
+        service = make_service(
+            store,
+            batch_window_s=0.0,
+            max_queue_depth=64,
+        )
+        # 80 ms per batch against a 50 ms p99 budget; arrivals spaced
+        # 100 ms apart so nothing queues, sheds or expires — the only
+        # SLO violated is latency.
+        service._service_time = FixedServiceTime(base_s=0.080, per_row_s=0.0)
+        for i, cid in enumerate(imsi[:20]):
+            service.submit(int(cid), now=i * 0.1, deadline_s=1.0)
+        service.drain()
+        assert _sink_window(service, "serve-slow") == ["serve-p99-breach"]

@@ -1,0 +1,213 @@
+"""Deterministic load/soak tests for the scoring service.
+
+A seeded open-loop arrival plan plus a :class:`FixedServiceTime` model
+makes every run bit-for-bit reproducible: the soak assertions are on
+exact outcomes, not statistical tendencies.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.features.spec import FeatureMatrix
+from repro.serve import (
+    FeatureStore,
+    FixedServiceTime,
+    LoadProfile,
+    ModelRegistry,
+    ScoringService,
+    ServeConfig,
+    arrival_plan,
+    drive,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+POPULATION = 1500
+N_FEATURES = 8
+
+
+class LinearStub:
+    """Deterministic vectorized model; cheap enough for long soaks."""
+
+    def __init__(self, n_features: int, seed: int = 0) -> None:
+        self.w = np.random.default_rng(seed).normal(size=n_features)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-(x @ self.w)))
+
+
+@pytest.fixture(scope="module")
+def soak_store() -> tuple[FeatureStore, np.ndarray]:
+    rng = np.random.default_rng(3)
+    imsi = (10_000 + np.arange(POPULATION)).astype(np.int64)
+    matrix = FeatureMatrix(
+        imsi=imsi,
+        names=[f"f{i}" for i in range(N_FEATURES)],
+        values=rng.normal(size=(POPULATION, N_FEATURES)),
+    )
+    store = FeatureStore(cache_rows=POPULATION)
+    store.materialize(matrix, "soak", buckets=8)
+    return store, imsi
+
+
+def make_service(store: FeatureStore, **config_overrides) -> ScoringService:
+    registry = ModelRegistry()
+    registry.publish("v1", LinearStub(N_FEATURES), activate=True)
+    defaults = dict(
+        max_batch=64,
+        batch_window_s=0.005,
+        max_queue_depth=512,
+        default_deadline_s=0.250,
+    )
+    defaults.update(config_overrides)
+    return ScoringService(
+        store,
+        registry,
+        ServeConfig(**defaults),
+        service_time=FixedServiceTime(base_s=0.002, per_row_s=0.00002),
+    )
+
+
+def run(store, imsi, rate_rps: float, **profile_overrides):
+    service = make_service(store)
+    profile = LoadProfile(
+        rate_rps=rate_rps,
+        duration_s=0.5,
+        population=POPULATION,
+        seed=11,
+        **profile_overrides,
+    )
+    return drive(service, arrival_plan(profile, customer_ids=imsi))
+
+
+class TestSoak:
+    def test_no_request_dropped_without_response(self, soak_store):
+        store, imsi = soak_store
+        report = run(store, imsi, rate_rps=4000)
+        assert report.submitted > 1500
+        assert report.unaccounted == 0
+        assert report.scored + report.unserved == report.submitted
+
+    def test_batch_size_adapts_monotonically_with_load(self, soak_store):
+        """Heavier offered load must never yield smaller mean batches."""
+        store, imsi = soak_store
+        means = [
+            run(store, imsi, rate_rps=rate).mean_batch_size
+            for rate in (500, 2000, 8000)
+        ]
+        assert means == sorted(means)
+        assert means[-1] > means[0]  # adaptation actually happened
+
+    def test_p99_under_budget_at_steady_state(self, soak_store):
+        store, imsi = soak_store
+        for rate in (500, 2000, 8000):
+            report = run(store, imsi, rate_rps=rate)
+            assert report.shed == 0 and report.expired == 0
+            assert report.p99_s <= 0.050, f"p99 {report.p99_s} at {rate} rps"
+
+    def test_runs_are_bit_for_bit_deterministic(self, soak_store):
+        store, imsi = soak_store
+        a = run(store, imsi, rate_rps=3000)
+        b = run(store, imsi, rate_rps=3000)
+        assert a.p50_s == b.p50_s and a.p99_s == b.p99_s
+        assert (a.scored, a.shed, a.expired) == (b.scored, b.shed, b.expired)
+        assert a.mean_batch_size == b.mean_batch_size
+
+    def test_overload_sheds_instead_of_queueing_unboundedly(self, soak_store):
+        """Offered load ~5x capacity: admission control must shed, the
+        queue must respect its bound, and every request still terminates."""
+        store, imsi = soak_store
+        registry = ModelRegistry()
+        registry.publish("v1", LinearStub(N_FEATURES), activate=True)
+        service = ScoringService(
+            store,
+            registry,
+            ServeConfig(
+                max_batch=4, batch_window_s=0.002, max_queue_depth=16
+            ),
+            # capacity ≈ 4 rows / 10.08 ms ≈ 400 req/s
+            service_time=FixedServiceTime(base_s=0.010, per_row_s=0.00002),
+        )
+        profile = LoadProfile(
+            rate_rps=2000, duration_s=0.5, population=POPULATION, seed=4
+        )
+        report = drive(service, arrival_plan(profile, customer_ids=imsi))
+        assert report.unaccounted == 0
+        assert report.shed > 0
+        assert report.max_queue_depth <= 16
+        # Scored requests stayed within a bounded-queue latency envelope.
+        assert report.max_latency_s < 0.2
+
+
+class TestLoadGenDeterminism:
+    def test_plan_is_seed_deterministic(self):
+        profile = LoadProfile(rate_rps=1000, duration_s=0.3, population=100, seed=9)
+        a = arrival_plan(profile)
+        b = arrival_plan(profile)
+        assert np.array_equal(a.times_s, b.times_s)
+        assert np.array_equal(a.customer_ids, b.customer_ids)
+
+    def test_hot_set_receives_its_traffic_share(self):
+        profile = LoadProfile(
+            rate_rps=5000,
+            duration_s=1.0,
+            population=1000,
+            seed=2,
+            hot_fraction=0.05,
+            hot_weight=0.5,
+        )
+        plan = arrival_plan(profile)
+        hot_cut = profile.id_base + int(1000 * 0.05)
+        hot_share = float(np.mean(plan.customer_ids < hot_cut))
+        # 50% routed to the hot set plus the cold picks that land there.
+        assert 0.45 < hot_share < 0.60
+
+    def test_open_loop_rate_is_respected(self):
+        profile = LoadProfile(rate_rps=2000, duration_s=1.0, population=50, seed=0)
+        plan = arrival_plan(profile)
+        assert 1800 < plan.n_requests < 2200
+        assert plan.times_s.max() < 1.0
+        assert np.all(np.diff(plan.times_s) >= 0)
+
+
+class TestBenchWiring:
+    def test_cli_emits_gateable_json(self):
+        out = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "benchmarks" / "load_gen.py"),
+                "--population", "400",
+                "--rate", "2000",
+                "--duration", "0.25",
+                "--json",
+            ],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=REPO_ROOT,
+        )
+        section = json.loads(out.stdout)
+        for key in (
+            "requests",
+            "throughput_rps",
+            "p50_ms",
+            "p99_ms",
+            "shed",
+            "floor",
+        ):
+            assert key in section
+        assert section["floor"] == {"throughput_rps": 5000.0, "p99_ms": 50.0}
+        assert (
+            section["scored"]
+            + section["shed"]
+            + section["expired"]
+            + section["failed"]
+            == section["requests"]
+        )

@@ -1,0 +1,182 @@
+"""Hypothesis properties of the micro-batcher.
+
+Whatever interleaving of arrivals, deadlines, time advances and capacity
+the strategy draws:
+
+* every submitted request reaches **exactly one** terminal outcome;
+* FIFO order is preserved within every batch;
+* the queue-depth gauge never exceeds the configured bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplat import observability
+from repro.features.spec import FeatureMatrix
+from repro.serve import (
+    TERMINAL_OUTCOMES,
+    FeatureStore,
+    FixedServiceTime,
+    ModelRegistry,
+    ScoringService,
+    ServeConfig,
+)
+
+N_CUSTOMERS = 32
+N_FEATURES = 3
+
+_matrix = FeatureMatrix(
+    imsi=np.arange(N_CUSTOMERS, dtype=np.int64),
+    names=[f"f{i}" for i in range(N_FEATURES)],
+    values=np.random.default_rng(0).normal(size=(N_CUSTOMERS, N_FEATURES)),
+)
+_store = FeatureStore(cache_rows=N_CUSTOMERS)
+_store.materialize(_matrix, "props", buckets=4)
+
+
+class LinearStub:
+    def __init__(self) -> None:
+        self.w = np.random.default_rng(1).normal(size=N_FEATURES)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.w
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("submit"),
+            st.integers(min_value=0, max_value=N_CUSTOMERS - 1),
+            st.floats(min_value=0.001, max_value=0.5),
+        ),
+        st.tuples(st.just("advance"), st.floats(min_value=0.0, max_value=0.05)),
+        st.tuples(st.just("poll")),
+    ),
+    max_size=60,
+)
+
+configs = st.builds(
+    lambda max_batch, extra_depth, window: ServeConfig(
+        max_batch=max_batch,
+        max_queue_depth=max_batch + extra_depth,
+        batch_window_s=window,
+        score_cache_rows=0,
+    ),
+    max_batch=st.integers(min_value=1, max_value=8),
+    extra_depth=st.integers(min_value=0, max_value=8),
+    window=st.floats(min_value=0.0, max_value=0.02),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=ops, config=configs)
+def test_batcher_invariants(ops, config):
+    previous = observability.set_metrics(observability.MetricsRegistry())
+    try:
+        registry = ModelRegistry()
+        registry.publish("v1", LinearStub(), activate=True)
+        service = ScoringService(
+            _store,
+            registry,
+            config,
+            service_time=FixedServiceTime(base_s=0.001, per_row_s=0.0001),
+        )
+        metrics = observability.get_metrics()
+        now = 0.0
+        tickets = []
+        for op in ops:
+            if op[0] == "submit":
+                tickets.append(service.submit(op[1], now=now, deadline_s=op[2]))
+            elif op[0] == "advance":
+                now += op[1]
+                service.poll(now)
+            else:
+                service.poll(now)
+            # The gauge mirrors the live queue and never tops the bound.
+            assert (
+                metrics.gauge("serve.queue_depth").value
+                <= config.max_queue_depth
+            )
+        service.drain()
+
+        # Exactly one terminal outcome each (a double transition would
+        # have raised inside ScoreRequest._finish).
+        assert all(t.outcome in TERMINAL_OUTCOMES for t in tickets)
+        counts = {name: 0 for name in TERMINAL_OUTCOMES}
+        for t in tickets:
+            counts[t.outcome] += 1
+        assert sum(counts.values()) == len(tickets)
+        assert counts["scored"] == metrics.counter("serve.scored").value
+        assert counts["shed"] == metrics.counter("serve.shed").value
+        assert counts["expired"] == metrics.counter("serve.expired").value
+
+        # FIFO within every batch: scored members of a batch keep their
+        # submission order, and batches themselves dispatch in order.
+        by_batch: dict[int, list[int]] = {}
+        for t in tickets:
+            if t.outcome == "scored":
+                by_batch.setdefault(t.batch_id, []).append(t.request_id)
+        for ids in by_batch.values():
+            assert ids == sorted(ids)
+        batch_order = sorted(by_batch)
+        firsts = [by_batch[b][0] for b in batch_order]
+        assert firsts == sorted(firsts)
+
+        # Queue-depth high-water mark respects the admission bound.
+        assert service.max_queue_seen <= config.max_queue_depth
+
+        # Scored requests respect causality and their deadline at dispatch.
+        for t in tickets:
+            if t.outcome == "scored":
+                assert t.completion_s >= t.arrival_s
+                assert t.score is not None and t.model_version == "v1"
+            if t.outcome == "shed":
+                assert t.retry_after_s is not None and t.retry_after_s >= 0
+    finally:
+        observability.set_metrics(previous)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seeds=st.integers(min_value=0, max_value=2**31 - 1),
+    config=configs,
+)
+def test_every_submitted_request_is_answered_under_random_traffic(seeds, config):
+    """A denser randomized schedule: conservation of requests."""
+    previous = observability.set_metrics(observability.MetricsRegistry())
+    try:
+        rng = np.random.default_rng(seeds)
+        registry = ModelRegistry()
+        registry.publish("v1", LinearStub(), activate=True)
+        service = ScoringService(
+            _store,
+            registry,
+            config,
+            service_time=FixedServiceTime(base_s=0.002, per_row_s=0.0001),
+        )
+        now = 0.0
+        tickets = []
+        for _ in range(120):
+            now += float(rng.exponential(0.001))
+            tickets.append(
+                service.submit(
+                    int(rng.integers(0, N_CUSTOMERS)),
+                    now=now,
+                    deadline_s=float(rng.uniform(0.001, 0.2)),
+                )
+            )
+        service.drain()
+        assert all(t.outcome in TERMINAL_OUTCOMES for t in tickets)
+        metrics = observability.get_metrics()
+        assert metrics.counter("serve.requests").value == len(tickets)
+        assert (
+            metrics.counter("serve.scored").value
+            + metrics.counter("serve.shed").value
+            + metrics.counter("serve.expired").value
+            + metrics.counter("serve.failures").value
+        ) == len(tickets)
+    finally:
+        observability.set_metrics(previous)
