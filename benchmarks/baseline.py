@@ -48,9 +48,14 @@ from repro.ml.forest import RandomForestClassifier
 
 DEFAULT_OUT = pathlib.Path(__file__).parent / "output" / "BENCH_micro.json"
 
+#: Every run appends one summary line here (schema-versioned and
+#: git_sha-stamped) so ``check_bench_regression.py`` can trend against
+#: history instead of a single committed snapshot.
+HISTORY_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
+
 #: Bump when the BENCH_micro.json layout changes, so downstream dashboards
 #: and the CI diff job can refuse to compare incompatible files.
-BENCH_SCHEMA_VERSION = 7
+BENCH_SCHEMA_VERSION = 8
 
 #: Telemetry sinking must stay below this fraction of window wall time.
 SINK_BUDGET = 0.05
@@ -58,6 +63,10 @@ SINK_BUDGET = 0.05
 #: Journaled writes must cost at most this fraction over the direct path
 #: (gated by ``scripts/check_bench_regression.py``).
 JOURNAL_BUDGET = 0.10
+
+#: Query profiling (the EXPLAIN ANALYZE collector) must cost at most this
+#: fraction over the unprofiled path (gated in CI).
+PROFILE_BUDGET = 0.05
 
 
 def _git_sha() -> str:
@@ -393,26 +402,13 @@ def bench_recovery(quick: bool, repeats: int):
     }
 
 
-def bench_planner(quick: bool, repeats: int):
-    """Cost-based optimizer on a skewed multi-way join.
+def _planner_world(quick: bool):
+    """The skewed multi-way-join world shared by the planner benchmarks.
 
-    Two fact tables (``calls`` and ``events``) share a power-law customer
-    key; the query joins them to each other and through ``custs`` to a
-    tiny ``offers`` dimension, filtering on the dimension — written in the
-    worst order, fact-to-fact first.  With ``cost_based=False`` the plan
-    executes as written and materializes the skewed many-to-many
-    intermediate; with ``cost_based=True`` the binder's zone-map
-    statistics let the CBO reorder smallest-build-first (dimension filter
-    first) and pre-aggregate below the final join, so the blow-up never
-    exists.  Both must return identical rows; the speedup is gated in CI
-    (``scripts/check_bench_regression.py``).  ``estimate_error_*`` comes
-    from the ``planner.estimate_error_q`` histogram of a fresh metrics
-    registry: the q-error factor between estimated and actual rows per
-    operator (1.0 = perfect).
+    Returns ``(catalog, sql)``: two power-law fact tables joined to each
+    other and through ``custs`` to a tiny filtered ``offers`` dimension,
+    written in the worst join order.
     """
-    from repro.dataplat.sql import SQLEngine
-    from repro.dataplat.sql.executor import ESTIMATE_ERROR_BUCKETS
-
     rng = np.random.default_rng(17)
     n_calls = 60_000 if quick else 150_000
     n_cust = 4_000 if quick else 10_000
@@ -455,6 +451,48 @@ def bench_planner(quick: bool, repeats: int):
         "JOIN offers o ON u.offer = o.id "
         "WHERE o.kind = 'promo' GROUP BY o.kind"
     )
+    meta = {
+        "rows_calls": n_calls,
+        "rows_events": n_calls,
+        "rows_custs": n_cust,
+        "rows_offers": n_offer,
+    }
+    return catalog, sql, meta
+
+
+def _norm_rows(table):
+    cols = [table[c] for c in table.schema.names]
+    return sorted(
+        tuple(
+            round(float(v), 6) if isinstance(v, (int, float, np.number))
+            and not isinstance(v, (bool, np.bool_)) else v
+            for v in row
+        )
+        for row in zip(*cols)
+    )
+
+
+def bench_planner(quick: bool, repeats: int):
+    """Cost-based optimizer on a skewed multi-way join.
+
+    Two fact tables (``calls`` and ``events``) share a power-law customer
+    key; the query joins them to each other and through ``custs`` to a
+    tiny ``offers`` dimension, filtering on the dimension — written in the
+    worst order, fact-to-fact first.  With ``cost_based=False`` the plan
+    executes as written and materializes the skewed many-to-many
+    intermediate; with ``cost_based=True`` the binder's zone-map
+    statistics let the CBO reorder smallest-build-first (dimension filter
+    first) and pre-aggregate below the final join, so the blow-up never
+    exists.  Both must return identical rows; the speedup is gated in CI
+    (``scripts/check_bench_regression.py``).  ``estimate_error_*`` comes
+    from the ``planner.estimate_error_q`` histogram of a fresh metrics
+    registry: the q-error factor between estimated and actual rows per
+    operator (1.0 = perfect).
+    """
+    from repro.dataplat.sql import SQLEngine
+    from repro.dataplat.sql.executor import ESTIMATE_ERROR_BUCKETS
+
+    catalog, sql, meta = _planner_world(quick)
     engines = {
         "off": SQLEngine(catalog, cost_based=False),
         "on": SQLEngine(catalog, cost_based=True),
@@ -465,18 +503,7 @@ def bench_planner(quick: bool, repeats: int):
         results[label] = engine.query(sql)  # warm caches before timing
         times[label] = _median_time(lambda e=engine: e.query(sql), repeats)
 
-    def norm(table):
-        cols = [table[c] for c in table.schema.names]
-        return sorted(
-            tuple(
-                round(float(v), 6) if isinstance(v, (int, float, np.number))
-                and not isinstance(v, (bool, np.bool_)) else v
-                for v in row
-            )
-            for row in zip(*cols)
-        )
-
-    assert norm(results["off"]) == norm(results["on"]), (
+    assert _norm_rows(results["off"]) == _norm_rows(results["on"]), (
         "cost-based optimizer changed the query answer"
     )
 
@@ -493,16 +520,61 @@ def bench_planner(quick: bool, repeats: int):
         observability.set_metrics(previous)
 
     return {
-        "rows_calls": n_calls,
-        "rows_events": n_calls,
-        "rows_custs": n_cust,
-        "rows_offers": n_offer,
+        **meta,
         "cbo_off_s": times["off"],
         "cbo_on_s": times["on"],
         "speedup": times["off"] / times["on"] if times["on"] > 0 else float("inf"),
         "estimate_error_mean_q": est_mean,
         "estimate_error_max_q": est_max,
         "estimate_error_observations": est_n,
+    }
+
+
+def bench_query_profiling(quick: bool, repeats: int):
+    """EXPLAIN ANALYZE collector overhead plus the feedback loop's payoff.
+
+    Runs the planner benchmark query with and without a
+    :class:`~repro.dataplat.sql.profile.ProfileCollector` attached;
+    ``overhead_ratio`` must stay under :data:`PROFILE_BUDGET` (gated by
+    ``scripts/check_bench_regression.py``) — per-operator clock reads are
+    nothing next to real join work.  The section also demonstrates the
+    cardinality feedback loop: with ``feedback`` on, the second run of the
+    same query plans with corrections learned from the first run's
+    profile, and its mean q-error must drop.
+    """
+    from repro.dataplat.sql import SQLEngine
+
+    catalog, sql, _ = _planner_world(quick)
+    plain = SQLEngine(catalog, cost_based=True)
+    profiled = SQLEngine(catalog, cost_based=True, profiling=True)
+
+    baseline_rows = _norm_rows(plain.query(sql))  # warm caches
+    assert _norm_rows(profiled.query(sql)) == baseline_rows, (
+        "profiling changed the query answer"
+    )
+    unprofiled_s = _median_time(lambda: plain.query(sql), repeats)
+    profiled_s = _median_time(lambda: profiled.query(sql), repeats)
+    overhead = (
+        (profiled_s - unprofiled_s) / unprofiled_s
+        if unprofiled_s > 0
+        else float("inf")
+    )
+
+    learner = SQLEngine(catalog, cost_based=True, feedback=True)
+    learner.query(sql)
+    q_first = learner.last_profile.mean_q_error()
+    learner.query(sql)
+    q_second = learner.last_profile.mean_q_error()
+
+    return {
+        "unprofiled_s": unprofiled_s,
+        "profiled_s": profiled_s,
+        "overhead_ratio": overhead,
+        "budget": PROFILE_BUDGET,
+        "operators": len(profiled.last_profile.operators),
+        "q_error_mean_first_run": q_first,
+        "q_error_mean_second_run": q_second,
+        "feedback_keys": len(learner.feedback),
     }
 
 
@@ -525,6 +597,30 @@ def bench_serve(quick: bool):
     return run_load(population=5000, rate_rps=6000.0, duration_s=2.0)
 
 
+def _append_history(path: pathlib.Path, result: dict) -> None:
+    """Append one compact trend line for this run to ``BENCH_history.jsonl``.
+
+    The line carries the schema version, git sha and the headline numbers
+    the regression gate trends on — enough to plot trajectories without
+    parsing full BENCH_micro.json snapshots.
+    """
+    entry = {
+        "schema_version": result["meta"]["schema_version"],
+        "git_sha": result["meta"]["git_sha"],
+        "quick": result["meta"]["quick"],
+        "columnar_scan_speedup": result["columnar_scan"]["speedup"],
+        "planner_speedup": result["planner"]["speedup"],
+        "planner_q_error_mean": result["planner"]["estimate_error_mean_q"],
+        "journal_overhead_ratio": result["recovery"]["journal_overhead_ratio"],
+        "sink_overhead_ratio": result["telemetry_sink"]["overhead_ratio"],
+        "profiling_overhead_ratio": result["query_profiling"]["overhead_ratio"],
+        "serve_rps": result["serve"]["throughput_rps"],
+        "serve_p99_ms": result["serve"]["p99_ms"],
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="CI-sized run")
@@ -533,6 +629,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
     parser.add_argument("--repeats", type=int, default=0, help="0 = auto")
+    parser.add_argument(
+        "--history",
+        type=pathlib.Path,
+        default=HISTORY_PATH,
+        help="JSONL file appended with one summary line per run",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending this run to the history file",
+    )
     args = parser.parse_args(argv)
 
     repeats = args.repeats or (3 if args.quick else 5)
@@ -563,6 +670,7 @@ def main(argv=None) -> int:
     telemetry_sink = bench_telemetry_sink(world, scale, args.quick)
     recovery = bench_recovery(args.quick, repeats)
     planner = bench_planner(args.quick, repeats)
+    query_profiling = bench_query_profiling(args.quick, repeats)
     serve = bench_serve(args.quick)
     pool.close()
 
@@ -590,10 +698,13 @@ def main(argv=None) -> int:
         "telemetry_sink": telemetry_sink,
         "recovery": recovery,
         "planner": planner,
+        "query_profiling": query_profiling,
         "serve": serve,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(result, indent=2) + "\n")
+    if not args.no_history:
+        _append_history(args.history, result)
     print(json.dumps(result, indent=2))
     return 0
 

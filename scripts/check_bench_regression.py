@@ -6,10 +6,17 @@ committed at the repo root.  The build fails when the v2 speedup falls more
 than ``--tolerance`` (default 20%) below the committed number — the guard
 the ISSUE asks for so a later change cannot quietly give the win back.
 
+Beyond the single committed snapshot, the gate also trends against the
+committed ``BENCH_history.jsonl`` (one line per past run, appended by
+``baseline.py``): with at least three comparable history entries (same
+schema version and ``--quick`` flag), the columnar floor is the *median*
+historical speedup minus the tolerance — one lucky committed run can no
+longer mask a slow drift.
+
 Usage::
 
     python scripts/check_bench_regression.py CURRENT.json [--baseline PATH]
-        [--tolerance 0.2]
+        [--tolerance 0.2] [--history PATH]
 
 Exit codes: 0 ok, 1 regression, 2 unusable inputs (missing section or
 schema-version mismatch — refuse to compare apples to oranges).
@@ -20,10 +27,33 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO_ROOT / "BENCH_micro.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def load_history(path: pathlib.Path, schema_version, quick) -> list[dict]:
+    """Comparable history entries (same schema version and quick flag)."""
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if (
+            entry.get("schema_version") == schema_version
+            and entry.get("quick") == quick
+        ):
+            entries.append(entry)
+    return entries
 
 
 def load(path: pathlib.Path) -> dict:
@@ -56,6 +86,12 @@ def main(argv=None) -> int:
             "slow side noisy, but never below the 2x hard floor"
         ),
     )
+    parser.add_argument(
+        "--history",
+        type=pathlib.Path,
+        default=DEFAULT_HISTORY,
+        help="BENCH_history.jsonl appended by baseline.py runs",
+    )
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -74,15 +110,38 @@ def main(argv=None) -> int:
         )
         return 2
 
+    history = load_history(
+        args.history, cur_meta, current.get("meta", {}).get("quick")
+    )
     cur = float(current["columnar_scan"]["speedup"])
     base = float(baseline["columnar_scan"]["speedup"])
+    if len(history) >= 3:
+        # With enough comparable history the reference is the historical
+        # median, so the floor tracks the trend instead of one snapshot.
+        base = statistics.median(
+            float(e["columnar_scan_speedup"]) for e in history
+        )
+        reference = f"history median ({len(history)} runs) {base:.2f}x"
+    else:
+        reference = f"committed {base:.2f}x"
     floor = base * (1.0 - args.tolerance)
     verdict = "OK" if cur >= floor else "REGRESSION"
     print(
-        f"columnar_scan speedup: current {cur:.2f}x, committed {base:.2f}x, "
+        f"columnar_scan speedup: current {cur:.2f}x, {reference}, "
         f"floor {floor:.2f}x -> {verdict}"
     )
     failed = cur < floor
+    if history:
+        scan_trend = ", ".join(
+            f"{float(e['columnar_scan_speedup']):.1f}x" for e in history[-5:]
+        )
+        planner_trend = ", ".join(
+            f"{float(e['planner_speedup']):.1f}x" for e in history[-5:]
+        )
+        print(
+            f"bench history: {len(history)} comparable runs "
+            f"(columnar: {scan_trend}; planner: {planner_trend})"
+        )
 
     recovery = current.get("recovery")
     if recovery is None:
@@ -118,6 +177,22 @@ def main(argv=None) -> int:
         f"max {float(planner['estimate_error_max_q']):.2f})"
     )
     failed = failed or cbo_bad
+
+    profiling = current.get("query_profiling")
+    if profiling is None:
+        print("current file has no query_profiling section", file=sys.stderr)
+        return 2
+    prof_overhead = float(profiling["overhead_ratio"])
+    prof_budget = float(profiling.get("budget", 0.05))
+    prof_bad = prof_overhead > prof_budget
+    print(
+        f"query profiling overhead: {prof_overhead:+.1%} vs "
+        f"{prof_budget:.0%} budget -> {'REGRESSION' if prof_bad else 'OK'} "
+        f"(feedback q-error mean "
+        f"{float(profiling['q_error_mean_first_run']):.2f} -> "
+        f"{float(profiling['q_error_mean_second_run']):.2f} across runs)"
+    )
+    failed = failed or prof_bad
 
     serve = current.get("serve")
     if serve is None:

@@ -59,6 +59,10 @@ class StorageHealth:
     chunks_skipped: int = 0
     partitions_pruned: int = 0
     bytes_decoded_saved: int = 0
+    #: Decoded bytes actually materialized on cache misses (v1 table blocks
+    #: and v2 column chunks) — the flip side of ``bytes_decoded_saved``,
+    #: attributed per operator by the SQL profile collector.
+    bytes_decoded: int = 0
 
     @property
     def cache_hit_rate(self) -> float:

@@ -813,6 +813,7 @@ class Catalog:
         if cached is not None:
             return cached
         table = Table.from_bytes(self._store.read(path))
+        self._store.health.bytes_decoded += table.nbytes
         self._cache.put(path, table, table.nbytes)
         return table
 
@@ -835,6 +836,7 @@ class Catalog:
             arr = self._cache.get(meta.path)
             if arr is None:
                 arr = decode_column(self._store.read(meta.path))
+                self._store.health.bytes_decoded += array_nbytes(arr)
                 self._cache.put(meta.path, arr, array_nbytes(arr))
             data[meta.name] = arr
             cols.append(meta.column)

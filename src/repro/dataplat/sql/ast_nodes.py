@@ -152,9 +152,15 @@ class UnionAllStatement:
 
 @dataclass(frozen=True)
 class ExplainStatement:
-    """``EXPLAIN <select>``: return the bound optimized plan as text."""
+    """``EXPLAIN [ANALYZE] <select>``: return the bound optimized plan.
+
+    With ``analyze`` the inner statement is actually executed and every
+    plan line carries actual rows, wall/CPU time and storage counters
+    alongside the binder's estimate.
+    """
 
     statement: "SelectStatement | UnionAllStatement"
+    analyze: bool = False
 
 
 from .functions import AGGREGATE_FUNCTIONS  # noqa: E402  (cycle-free import)

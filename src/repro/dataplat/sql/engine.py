@@ -10,7 +10,16 @@ Planning pipeline per query: parse → logical plan → rule-based optimize →
 **cost-based optimizer** (join reorder, aggregate pushdown, early
 projection, join strategy), enabled by the ``cost_based`` flag or the
 ``REPRO_CBO`` environment variable.  ``EXPLAIN <select>`` returns the
-final plan as a one-column table instead of executing it.
+final plan as a one-column table instead of executing it;
+``EXPLAIN ANALYZE <select>`` executes it and annotates every operator
+with actual rows, wall/CPU time and storage counters.
+
+Profiling (``profiling=True`` or ``REPRO_SQL_PROFILE=1``) records a
+:class:`~.profile.QueryProfile` for every executed query — readable via
+:attr:`SQLEngine.last_profile`, forwarded to ``profile_sink`` when set,
+and feeding the optional :class:`~.feedback.CardinalityFeedback` store
+(``feedback=True`` or ``REPRO_CBO_FEEDBACK=1``) that lets the binder
+correct its cardinality estimates from observed run history.
 """
 
 from __future__ import annotations
@@ -20,21 +29,27 @@ import os
 import numpy as np
 
 from ..catalog import Catalog
-from ..observability import span
+from ..observability import get_metrics, span
 from ..table import Table
 from .ast_nodes import ExplainStatement, SelectStatement, UnionAllStatement
 from .binder import Binder
 from .cbo import optimize_cost_based
 from .executor import Executor
+from .feedback import CardinalityFeedback
 from .parser import parse
 from .plan import PlanNode
 from .planner import build_plan, optimize
+from .profile import ProfileCollector, QueryProfile, annotate_plan
 
 _ENV_TRUTHY = ("1", "true", "yes", "on")
 
 
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in _ENV_TRUTHY
+
+
 def _env_cost_based() -> bool:
-    return os.environ.get("REPRO_CBO", "").strip().lower() in _ENV_TRUTHY
+    return _env_flag("REPRO_CBO")
 
 
 class SQLEngine:
@@ -48,7 +63,13 @@ class SQLEngine:
 
     ``cost_based`` turns on the statistics-driven optimizer; ``None``
     (default) defers to the ``REPRO_CBO`` environment variable so whole
-    test suites can flip it without touching call sites.
+    test suites can flip it without touching call sites.  ``profiling``
+    works the same way against ``REPRO_SQL_PROFILE``, and ``feedback``
+    against ``REPRO_CBO_FEEDBACK`` (pass an existing
+    :class:`~.feedback.CardinalityFeedback` to share one store across
+    engines).  ``profile_sink`` is called with each finished
+    :class:`~.profile.QueryProfile` (the telemetry sink's
+    ``record_query_profile`` slots in directly).
     """
 
     def __init__(
@@ -57,6 +78,9 @@ class SQLEngine:
         database: str = "default",
         scan_pruning: bool = True,
         cost_based: bool | None = None,
+        profiling: bool | None = None,
+        profile_sink=None,
+        feedback: "CardinalityFeedback | bool | None" = None,
     ) -> None:
         self._catalog = catalog if catalog is not None else Catalog()
         self._database = database
@@ -64,6 +88,19 @@ class SQLEngine:
         self._cost_based = (
             _env_cost_based() if cost_based is None else bool(cost_based)
         )
+        self._profiling = (
+            _env_flag("REPRO_SQL_PROFILE") if profiling is None else bool(profiling)
+        )
+        self._profile_sink = profile_sink
+        if feedback is None:
+            feedback = _env_flag("REPRO_CBO_FEEDBACK")
+        if feedback is True:
+            self._feedback: CardinalityFeedback | None = CardinalityFeedback()
+        elif feedback is False:
+            self._feedback = None
+        else:
+            self._feedback = feedback
+        self._last_profile: QueryProfile | None = None
 
     @property
     def catalog(self) -> Catalog:
@@ -72,6 +109,16 @@ class SQLEngine:
     @property
     def cost_based(self) -> bool:
         return self._cost_based
+
+    @property
+    def feedback(self) -> CardinalityFeedback | None:
+        """The cardinality-feedback store, when enabled."""
+        return self._feedback
+
+    @property
+    def last_profile(self) -> QueryProfile | None:
+        """The profile of the most recent profiled query, if any."""
+        return self._last_profile
 
     def register(self, table: Table, name: str) -> None:
         """Register an in-memory table under ``name`` (temp view).
@@ -102,7 +149,7 @@ class SQLEngine:
             plan = build_plan(stmt)
             if optimized:
                 plan = optimize(plan)
-        binder = Binder(self._catalog, self._database)
+        binder = Binder(self._catalog, self._database, feedback=self._feedback)
         with span("sql.bind"):
             binder.bind(plan)
         if self._cost_based and optimized:
@@ -114,29 +161,72 @@ class SQLEngine:
         """Readable bound (and, if enabled, cost-optimized) plan."""
         return self.plan(sql).describe()
 
+    def _collecting(self) -> bool:
+        return (
+            self._profiling
+            or self._feedback is not None
+            or self._profile_sink is not None
+        )
+
+    def _execute_profiled(
+        self, plan: PlanNode, sql: str
+    ) -> tuple[Table, QueryProfile]:
+        collector = ProfileCollector(health=self._catalog.store.health)
+        executor = Executor(
+            self._catalog,
+            self._database,
+            scan_pruning=self._scan_pruning,
+            profiler=collector,
+        )
+        with span("sql.execute"):
+            out = executor.execute(plan)
+        profile = collector.finish(sql)
+        self._absorb_profile(profile)
+        return out, profile
+
+    def _absorb_profile(self, profile: QueryProfile) -> None:
+        self._last_profile = profile
+        get_metrics().counter("sql.queries_profiled").inc()
+        if self._feedback is not None:
+            self._feedback.ingest(profile)
+        if self._profile_sink is not None:
+            self._profile_sink(profile)
+
     def query(self, sql: str) -> Table:
         """Execute a SELECT statement and return the result table.
 
         ``EXPLAIN <select>`` returns the plan text as a one-column table
-        (column ``plan``, one row per plan line) without executing.
+        (column ``plan``, one row per plan line) without executing;
+        ``EXPLAIN ANALYZE <select>`` executes the inner statement
+        (discarding its rows) and returns the plan annotated with actual
+        row counts, timings and storage counters per operator.
         """
         with span("sql.query", sql=sql.strip()[:80]) as sp:
             with span("sql.parse"):
                 stmt = parse(sql)
             if isinstance(stmt, ExplainStatement):
                 plan = self._plan_statement(stmt.statement)
-                lines = plan.describe().split("\n")
+                if stmt.analyze:
+                    _, profile = self._execute_profiled(plan, sql)
+                    lines = annotate_plan(plan, profile)
+                else:
+                    lines = plan.describe().split("\n")
                 out = Table.from_arrays(
                     plan=np.asarray(lines, dtype=object)
                 )
                 sp.incr("rows", out.num_rows)
                 return out
             plan = self._plan_statement(stmt)
-            executor = Executor(
-                self._catalog, self._database, scan_pruning=self._scan_pruning
-            )
-            with span("sql.execute"):
-                out = executor.execute(plan)
+            if self._collecting():
+                out, _ = self._execute_profiled(plan, sql)
+            else:
+                executor = Executor(
+                    self._catalog,
+                    self._database,
+                    scan_pruning=self._scan_pruning,
+                )
+                with span("sql.execute"):
+                    out = executor.execute(plan)
             sp.incr("rows", out.num_rows)
         return out
 

@@ -81,10 +81,12 @@ class Executor:
         catalog: Catalog,
         database: str = "default",
         scan_pruning: bool = True,
+        profiler=None,
     ) -> None:
         self._catalog = catalog
         self._database = database
         self._scan_pruning = scan_pruning
+        self._profiler = profiler
 
     def execute(self, plan: PlanNode) -> Table:
         return self._run(plan)
@@ -94,6 +96,25 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _run(self, node: PlanNode) -> Table:
+        """Execute one operator, profiling it when a collector is attached.
+
+        The profiler (a :class:`~.profile.ProfileCollector`) brackets the
+        whole operator including its children, mirroring the span tree;
+        results are unchanged either way.
+        """
+        profiler = self._profiler
+        if profiler is None:
+            return self._run_traced(node)
+        frame = profiler.enter(node)
+        try:
+            out = self._run_traced(node)
+        except BaseException:
+            profiler.exit(frame, -1)
+            raise
+        profiler.exit(frame, out.num_rows)
+        return out
+
+    def _run_traced(self, node: PlanNode) -> Table:
         """Execute one operator, tracing a span per plan node.
 
         Children are executed by the operator handlers (inside the parent's

@@ -1,0 +1,262 @@
+"""Cardinality feedback: learned corrections for the binder's estimates.
+
+The binder's System-R style estimates (uniformity, independence) are
+systematically wrong on skewed data — the whole reason the
+``planner.estimate_error_q`` histogram exists.  This module closes the
+loop: query profiles (:mod:`.profile`) record actual row counts per
+operator, :class:`CardinalityFeedback` aggregates the actual/estimated
+ratio per *(relation set, operator shape)* key, and the binder multiplies
+its raw estimate by the learned correction on the next planning pass.
+
+Keys abstract literals away (``kind = 'promo'`` and ``kind = 'std'``
+share the shape ``kind=?``) and are invariant under join reordering: a
+node's key covers the *set* of base tables below it plus the multiset of
+cardinality-affecting predicate shapes in its subtree, so the top join of
+a reordered cluster keeps its key.
+
+Corrections are learned against the binder's *raw* (uncorrected)
+estimate, so repeated runs converge to ``actual / raw`` instead of
+oscillating, and are clamped to ``[1/1000, 1000]`` so one pathological
+observation cannot blow up planning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .ast_nodes import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from .plan import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    PlanNode,
+    Scan,
+    UnionAll,
+)
+
+__all__ = ["CardinalityFeedback", "expr_shape", "node_signature"]
+
+#: Corrections are clamped to [1/CORRECTION_CLAMP, CORRECTION_CLAMP].
+CORRECTION_CLAMP = 1000.0
+
+
+def expr_shape(expr: Expr) -> str:
+    """Canonical predicate shape: literals become ``?``, aliases drop.
+
+    Column references use the bare column name (the qualifier is an alias
+    chosen per query), AND/OR operands are flattened and sorted, and LIKE
+    patterns keep only their wildcard skeleton — so structurally identical
+    predicates over different constants share one shape:
+    ``o.kind = 'promo'`` and ``o.kind = 'std'`` are both ``kind=?``.
+    """
+    if isinstance(expr, Literal):
+        return "?"
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op.lower()}({expr_shape(expr.operand)})"
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("AND", "OR"):
+            parts: list[str] = []
+            _flatten(expr, expr.op, parts)
+            joiner = " and " if expr.op == "AND" else " or "
+            return "(" + joiner.join(sorted(parts)) + ")"
+        return f"{expr_shape(expr.left)}{expr.op}{expr_shape(expr.right)}"
+    if isinstance(expr, FunctionCall):
+        args = ",".join(expr_shape(a) for a in expr.args)
+        return f"{expr.name.lower()}({args})"
+    if isinstance(expr, CaseWhen):
+        return f"case#{len(expr.branches)}"
+    if isinstance(expr, InList):
+        word = "not in" if expr.negated else "in"
+        return f"{expr_shape(expr.operand)} {word}#{len(expr.items)}"
+    if isinstance(expr, Between):
+        word = "not between" if expr.negated else "between"
+        return f"{expr_shape(expr.operand)} {word} ?"
+    if isinstance(expr, IsNull):
+        word = "is not null" if expr.negated else "is null"
+        return f"{expr_shape(expr.operand)} {word}"
+    if isinstance(expr, Like):
+        skeleton = "".join(c if c in "%_" else "x" for c in expr.pattern)
+        word = "not like" if expr.negated else "like"
+        return f"{expr_shape(expr.operand)} {word} {skeleton}"
+    return type(expr).__name__.lower()
+
+
+def _flatten(expr: Expr, op: str, out: list[str]) -> None:
+    if isinstance(expr, BinaryOp) and expr.op == op:
+        _flatten(expr.left, op, out)
+        _flatten(expr.right, op, out)
+    else:
+        out.append(expr_shape(expr))
+
+
+def node_signature(node: PlanNode) -> tuple[str, str] | None:
+    """``(relations, shape)`` feedback key, or None for pass-through nodes.
+
+    Only the node types whose cardinality the binder genuinely estimates
+    (Scan/Filter/Join/Aggregate) get keys; Project/Sort/etc. inherit their
+    child's row count and learning a correction for them would double
+    count.  The shape is the node's own class plus the sorted multiset of
+    cardinality-affecting predicate shapes in its subtree, which makes the
+    key stable when the cost-based optimizer reorders a join cluster.
+    """
+    if not isinstance(node, (Scan, Filter, Join, Aggregate)):
+        return None
+    tables: set[str] = set()
+    _collect_tables(node, tables)
+    parts: list[str] = []
+    _collect_shape_parts(node, parts)
+    shape = f"{type(node).__name__.lower()}|{';'.join(sorted(parts))}"
+    return "+".join(sorted(tables)), shape
+
+
+def _collect_tables(node: PlanNode, out: set[str]) -> None:
+    if isinstance(node, Scan):
+        out.add(node.table)
+    for child in node.children():
+        _collect_tables(child, out)
+
+
+def _collect_shape_parts(node: PlanNode, out: list[str]) -> None:
+    if isinstance(node, Filter):
+        out.append(f"f:{expr_shape(node.predicate)}")
+    elif isinstance(node, Join):
+        conjuncts: list[Expr] = []
+        _split_condition(node.condition, conjuncts)
+        for conjunct in conjuncts:
+            out.append(f"j[{node.kind}]:{expr_shape(conjunct)}")
+    elif isinstance(node, Aggregate):
+        keys = ",".join(sorted(expr_shape(k) for k in node.group_by))
+        out.append(f"a:{keys}" if keys else "a:global")
+    elif isinstance(node, Limit):
+        out.append(f"l:{node.count}")
+    elif isinstance(node, Distinct):
+        out.append("d")
+    elif isinstance(node, UnionAll):
+        out.append(f"u:{len(node.inputs)}")
+    # Scan predicate hints are advisory copies of Filter conjuncts — a
+    # scan contributes its table (via _collect_tables), not a shape.
+    for child in node.children():
+        _collect_shape_parts(child, out)
+
+
+def _split_condition(expr: Expr, out: list[Expr]) -> None:
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        _split_condition(expr.left, out)
+        _split_condition(expr.right, out)
+    else:
+        out.append(expr)
+
+
+class CardinalityFeedback:
+    """Aggregated actual/estimated ratios, queryable by plan node.
+
+    Stores, per key, the observation count and the sum of
+    ``log((actual + 1) / (raw_estimate + 1))``; the correction is the
+    clamped geometric mean of the observed ratios.  The +1 smoothing keeps
+    empty results finite and pulls tiny samples toward 1.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[tuple[str, str], tuple[int, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def observe(
+        self, rel: str, shape: str, est_rows: float, actual_rows: float
+    ) -> None:
+        """Record one (raw estimate, actual) pair for a key."""
+        if est_rows < 0 or actual_rows < 0:
+            return
+        ratio = math.log((actual_rows + 1.0) / (est_rows + 1.0))
+        count, log_sum = self._stats.get((rel, shape), (0, 0.0))
+        self._stats[(rel, shape)] = (count + 1, log_sum + ratio)
+
+    def ingest(self, profile) -> int:
+        """Absorb every keyed operator of a :class:`~.profile.QueryProfile`.
+
+        Returns the number of observations recorded.
+        """
+        seen = 0
+        for op in profile.operators:
+            if op.rel and op.shape and op.est_rows_raw >= 0:
+                self.observe(op.rel, op.shape, op.est_rows_raw, op.actual_rows)
+                seen += 1
+        return seen
+
+    def correction_for(self, rel: str, shape: str) -> float:
+        """Geometric-mean correction for a key (1.0 when unobserved)."""
+        stat = self._stats.get((rel, shape))
+        if stat is None:
+            return 1.0
+        count, log_sum = stat
+        factor = math.exp(log_sum / count)
+        return min(CORRECTION_CLAMP, max(1.0 / CORRECTION_CLAMP, factor))
+
+    def correction(self, node: PlanNode) -> float:
+        """Correction for a plan node (1.0 for unkeyed/unobserved nodes)."""
+        key = node_signature(node)
+        if key is None:
+            return 1.0
+        return self.correction_for(*key)
+
+    def observations(self) -> dict[tuple[str, str], int]:
+        """Observation counts per key (for reports and tests)."""
+        return {key: count for key, (count, _) in self._stats.items()}
+
+    @classmethod
+    def from_profiles(cls, profiles: Iterable) -> "CardinalityFeedback":
+        """Build a store from an iterable of query profiles."""
+        feedback = cls()
+        for profile in profiles:
+            feedback.ingest(profile)
+        return feedback
+
+    @classmethod
+    def from_warehouse(
+        cls, warehouse, run_id: str | None = None
+    ) -> "CardinalityFeedback":
+        """Rebuild a store from ``__telemetry.query_profiles`` rows.
+
+        This is how a fresh process warms up from history recorded by
+        earlier runs; ``run_id`` restricts to one run.
+        """
+        feedback = cls()
+        if "query_profiles" not in warehouse.tables():
+            return feedback
+        table = warehouse.catalog.load(
+            "query_profiles", database="__telemetry"
+        )
+        names = list(table.schema.names)
+        idx = {name: names.index(name) for name in names}
+        for row in table.rows():
+            if run_id is not None and row[idx["run_id"]] != run_id:
+                continue
+            rel = row[idx["rel"]]
+            shape = row[idx["shape"]]
+            est_raw = float(row[idx["est_rows_raw"]])
+            if rel and shape and est_raw >= 0:
+                feedback.observe(
+                    rel, shape, est_raw, float(row[idx["actual_rows"]])
+                )
+        return feedback

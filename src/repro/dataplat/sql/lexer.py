@@ -16,7 +16,7 @@ KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
     "AS", "AND", "OR", "NOT", "JOIN", "INNER", "LEFT", "ON", "ASC", "DESC",
     "DISTINCT", "CASE", "WHEN", "THEN", "ELSE", "END", "NULL", "TRUE",
-    "UNION", "ALL", "EXPLAIN",
+    "UNION", "ALL", "EXPLAIN", "ANALYZE",
     "FALSE", "IN", "BETWEEN", "LIKE", "IS",
 }
 

@@ -52,6 +52,7 @@ def parse(sql: str) -> "SelectStatement | UnionAllStatement | ExplainStatement":
     """Parse one SELECT statement, a UNION ALL chain, or an EXPLAIN."""
     parser = _Parser(tokenize(sql))
     explain = parser._match_keyword("EXPLAIN") is not None
+    analyze = explain and parser._match_keyword("ANALYZE") is not None
     selects = [parser.parse_select(top_level=False)]
     while parser._match_keyword("UNION"):
         parser._expect_keyword("ALL")
@@ -62,7 +63,7 @@ def parse(sql: str) -> "SelectStatement | UnionAllStatement | ExplainStatement":
             f"unexpected trailing input: {tail.value!r}", position=tail.position
         )
     stmt = selects[0] if len(selects) == 1 else UnionAllStatement(tuple(selects))
-    return ExplainStatement(stmt) if explain else stmt
+    return ExplainStatement(stmt, analyze=analyze) if explain else stmt
 
 
 class _Parser:

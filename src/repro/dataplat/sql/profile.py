@@ -1,0 +1,283 @@
+"""Per-operator query profiles (the runtime side of EXPLAIN ANALYZE).
+
+A :class:`ProfileCollector` shadows the executor's recursion: every plan
+node gets one :class:`OperatorProfile` frame with depth-first pre-order
+ids (the same numbering the telemetry warehouse uses for spans), inclusive
+wall/CPU time, and *exclusive* storage-counter deltas — bytes decoded in a
+scan are attributed to the scan, not to every join above it.  The finished
+:class:`QueryProfile` feeds three consumers: the annotated plan text
+returned by ``EXPLAIN ANALYZE``, the ``__telemetry.query_profiles``
+warehouse table, and the :class:`~.feedback.CardinalityFeedback` store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import time
+from dataclasses import dataclass, field
+
+from .feedback import node_signature
+from .plan import PlanNode, format_rows
+
+__all__ = [
+    "OperatorProfile",
+    "ProfileCollector",
+    "QueryProfile",
+    "annotate_plan",
+    "fingerprint",
+    "normalize_sql",
+]
+
+_WS = re.compile(r"\s+")
+_EXPLAIN_PREFIX = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\s+", re.IGNORECASE)
+
+
+def normalize_sql(sql: str) -> str:
+    """Whitespace-collapsed statement text with EXPLAIN [ANALYZE] stripped.
+
+    ``EXPLAIN ANALYZE <q>`` and ``<q>`` normalize identically, so their
+    profiles share a fingerprint and cross-run comparisons line up.
+    """
+    return _WS.sub(" ", _EXPLAIN_PREFIX.sub("", sql)).strip().rstrip(";").strip()
+
+
+def fingerprint(sql: str) -> str:
+    """Stable 16-hex-digit id of a normalized statement."""
+    digest = hashlib.sha1(normalize_sql(sql).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+@dataclass
+class OperatorProfile:
+    """One executed plan operator: estimates, actuals, time, storage I/O.
+
+    ``wall_s``/``cpu_s`` are inclusive of children (classic EXPLAIN
+    ANALYZE); the storage counters are exclusive.  ``est_rows`` is the
+    binder's (possibly feedback-corrected) annotation, ``est_rows_raw``
+    the uncorrected System-R estimate the feedback store learns against;
+    both are −1 when the node was never bound.  ``actual_rows`` is −1 when
+    the operator raised instead of returning.
+    """
+
+    op_id: int
+    parent_id: int
+    depth: int
+    operator: str
+    label: str
+    rel: str
+    shape: str
+    est_rows: float
+    est_rows_raw: float
+    actual_rows: int = -1
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    bytes_decoded: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    chunks_skipped: int = 0
+    partitions_pruned: int = 0
+
+    @property
+    def q_error(self) -> float:
+        """Smoothed q-error, 0.0 where no estimate applies.
+
+        Only operators the binder genuinely estimates (those with a
+        feedback key) report a q-error — pass-through nodes would just
+        duplicate their child's.
+        """
+        if not self.rel or self.est_rows < 0 or self.actual_rows < 0:
+            return 0.0
+        est, actual = self.est_rows, float(self.actual_rows)
+        return (max(est, actual) + 1.0) / (min(est, actual) + 1.0)
+
+
+@dataclass
+class QueryProfile:
+    """A query's operator profiles in depth-first pre-order."""
+
+    fingerprint: str
+    sql: str
+    operators: list[OperatorProfile] = field(default_factory=list)
+    _by_node: dict[int, OperatorProfile] = field(
+        default_factory=dict, repr=False
+    )
+
+    def root(self) -> OperatorProfile | None:
+        return self.operators[0] if self.operators else None
+
+    @property
+    def wall_s(self) -> float:
+        """Total execution wall time (the root operator is inclusive)."""
+        root = self.root()
+        return root.wall_s if root is not None else 0.0
+
+    def for_node(self, node: PlanNode) -> OperatorProfile | None:
+        """The profile recorded for one plan-tree node (by identity)."""
+        return self._by_node.get(id(node))
+
+    def max_q_error(self) -> float:
+        return max((op.q_error for op in self.operators), default=0.0)
+
+    def mean_q_error(self) -> float:
+        errors = [op.q_error for op in self.operators if op.q_error > 0]
+        return sum(errors) / len(errors) if errors else 0.0
+
+
+class _Frame:
+    __slots__ = (
+        "node",
+        "op_id",
+        "parent_id",
+        "depth",
+        "wall0",
+        "cpu0",
+        "counters0",
+        "child_counters",
+    )
+
+    def __init__(self, node, op_id, parent_id, depth, wall0, cpu0, counters0):
+        self.node = node
+        self.op_id = op_id
+        self.parent_id = parent_id
+        self.depth = depth
+        self.wall0 = wall0
+        self.cpu0 = cpu0
+        self.counters0 = counters0
+        self.child_counters = (0, 0, 0, 0, 0)
+
+
+class ProfileCollector:
+    """Builds a :class:`QueryProfile` as the executor walks the plan.
+
+    The executor brackets every operator with :meth:`enter`/:meth:`exit`;
+    frames nest on a stack, so each exit knows how much of its counter
+    delta belongs to already-finished children and subtracts it.
+    """
+
+    def __init__(self, health=None) -> None:
+        self._health = health
+        self._stack: list[_Frame] = []
+        self._profiles: list[OperatorProfile] = []
+        self._by_node: dict[int, OperatorProfile] = {}
+        self._next_id = 0
+
+    def _counters(self) -> tuple[int, int, int, int, int]:
+        health = self._health
+        if health is None:
+            return (0, 0, 0, 0, 0)
+        return (
+            health.bytes_decoded,
+            health.cache_hits,
+            health.cache_misses,
+            health.chunks_skipped,
+            health.partitions_pruned,
+        )
+
+    def enter(self, node: PlanNode) -> _Frame:
+        parent_id = self._stack[-1].op_id if self._stack else -1
+        frame = _Frame(
+            node,
+            self._next_id,
+            parent_id,
+            len(self._stack),
+            time.perf_counter(),
+            time.process_time(),
+            self._counters(),
+        )
+        self._next_id += 1
+        self._stack.append(frame)
+        return frame
+
+    def exit(self, frame: _Frame, actual_rows: int) -> OperatorProfile:
+        wall = time.perf_counter() - frame.wall0
+        cpu = time.process_time() - frame.cpu0
+        now = self._counters()
+        totals = tuple(n - c for n, c in zip(now, frame.counters0))
+        own = tuple(t - c for t, c in zip(totals, frame.child_counters))
+        popped = self._stack.pop()
+        assert popped is frame, "profile frames must nest"
+        if self._stack:
+            parent = self._stack[-1]
+            parent.child_counters = tuple(
+                a + b for a, b in zip(parent.child_counters, totals)
+            )
+        node = frame.node
+        key = node_signature(node)
+        rel, shape = key if key is not None else ("", "")
+        est = node.est_rows if node.est_rows is not None else -1.0
+        est_raw = (
+            node.est_rows_raw if node.est_rows_raw is not None else -1.0
+        )
+        profile = OperatorProfile(
+            op_id=frame.op_id,
+            parent_id=frame.parent_id,
+            depth=frame.depth,
+            operator=type(node).__name__,
+            label=node._label(),
+            rel=rel,
+            shape=shape,
+            est_rows=float(est),
+            est_rows_raw=float(est_raw),
+            actual_rows=int(actual_rows),
+            wall_s=wall,
+            cpu_s=cpu,
+            bytes_decoded=int(own[0]),
+            cache_hits=int(own[1]),
+            cache_misses=int(own[2]),
+            chunks_skipped=int(own[3]),
+            partitions_pruned=int(own[4]),
+        )
+        self._profiles.append(profile)
+        self._by_node[id(node)] = profile
+        return profile
+
+    def finish(self, sql: str) -> QueryProfile:
+        """Seal the collection into a :class:`QueryProfile`."""
+        if self._stack:
+            raise RuntimeError(
+                f"{len(self._stack)} profile frames still open"
+            )
+        operators = sorted(self._profiles, key=lambda op: op.op_id)
+        return QueryProfile(
+            fingerprint=fingerprint(sql),
+            sql=normalize_sql(sql),
+            operators=operators,
+            _by_node=dict(self._by_node),
+        )
+
+
+def annotate_plan(plan: PlanNode, profile: QueryProfile) -> list[str]:
+    """EXPLAIN ANALYZE text: one line per operator, actual vs. estimated."""
+    lines: list[str] = []
+
+    def visit(node: PlanNode, indent: int) -> None:
+        pad = "  " * indent
+        op = profile.for_node(node)
+        if op is None:
+            lines.append(f"{pad}{node._label()} [not executed]")
+        else:
+            est = format_rows(op.est_rows) if op.est_rows >= 0 else "?"
+            parts = [
+                f"est_rows={est}",
+                f"actual_rows={op.actual_rows}",
+            ]
+            if op.q_error > 0:
+                parts.append(f"q={op.q_error:.2f}")
+            parts.extend(
+                [
+                    f"wall_ms={op.wall_s * 1e3:.3f}",
+                    f"cpu_ms={op.cpu_s * 1e3:.3f}",
+                    f"bytes_decoded={op.bytes_decoded}",
+                    f"cache_hits={op.cache_hits}",
+                    f"cache_misses={op.cache_misses}",
+                    f"chunks_skipped={op.chunks_skipped}",
+                    f"partitions_pruned={op.partitions_pruned}",
+                ]
+            )
+            lines.append(f"{pad}{node._label()} [{' '.join(parts)}]")
+        for child in node.children():
+            visit(child, indent + 1)
+
+    visit(plan, 0)
+    return lines

@@ -1,0 +1,223 @@
+"""Golden-output tests for the observability CLIs.
+
+``trace_report.py`` and ``obs_dashboard.py`` are the interfaces a human
+actually reads, so their rendering is pinned byte-for-byte against
+committed golden files in ``tests/golden/``.  The canned inputs are built
+here from fully deterministic values (hand-written span timings, a
+fabricated query profile) — regenerate a golden after an intentional
+format change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_scripts_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.dataplat.resilience import PipelineHealthReport
+from repro.dataplat.sql.profile import OperatorProfile, QueryProfile
+from repro.dataplat.telemetry import TelemetryWarehouse
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SCRIPTS = REPO_ROOT / "scripts"
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN", "") == "1"
+
+
+def canned_trace() -> dict:
+    """A two-window pipeline trace with hand-written timings."""
+    return {
+        "spans": [
+            {
+                "name": "pipeline.window",
+                "wall_s": 0.120,
+                "cpu_s": 0.100,
+                "tags": {"test_month": 5},
+                "children": [
+                    {
+                        "name": "features.build",
+                        "wall_s": 0.080,
+                        "cpu_s": 0.070,
+                        "counters": {"rows": 600.0},
+                    },
+                    {"name": "predictor.fit", "wall_s": 0.030, "cpu_s": 0.025},
+                ],
+            },
+            {
+                "name": "pipeline.window",
+                "wall_s": 0.150,
+                "cpu_s": 0.130,
+                "tags": {"test_month": 6},
+                "children": [
+                    {
+                        "name": "features.build",
+                        "wall_s": 0.090,
+                        "cpu_s": 0.080,
+                        "counters": {"rows": 600.0},
+                    },
+                    {"name": "predictor.fit", "wall_s": 0.040, "cpu_s": 0.035},
+                ],
+            },
+        ]
+    }
+
+
+def canned_profile() -> QueryProfile:
+    """One fabricated query profile: scan -> filter -> aggregate."""
+    ops = [
+        OperatorProfile(
+            op_id=0, parent_id=-1, depth=0, operator="Aggregate",
+            label="Aggregate[name] n=COUNT(*)", rel="t+u",
+            shape="aggregate|a:name;f:v<?;j[inner]:grp=grp",
+            est_rows=7.0, est_rows_raw=21.0, actual_rows=7,
+            wall_s=0.0040, cpu_s=0.0038,
+        ),
+        OperatorProfile(
+            op_id=1, parent_id=0, depth=1, operator="Join",
+            label="Join[inner,hash] t.grp = u.grp", rel="t+u",
+            shape="join|f:v<?;j[inner]:grp=grp",
+            est_rows=133.0, est_rows_raw=133.0, actual_rows=138,
+            wall_s=0.0031, cpu_s=0.0030,
+        ),
+        OperatorProfile(
+            op_id=2, parent_id=1, depth=2, operator="Filter",
+            label="Filter v < 5", rel="t", shape="filter|f:v<?",
+            est_rows=133.0, est_rows_raw=133.0, actual_rows=138,
+            wall_s=0.0019, cpu_s=0.0018,
+        ),
+        OperatorProfile(
+            op_id=3, parent_id=2, depth=3, operator="Scan",
+            label="Scan t", rel="t", shape="scan|",
+            est_rows=400.0, est_rows_raw=400.0, actual_rows=400,
+            wall_s=0.0008, cpu_s=0.0008, bytes_decoded=9600,
+            cache_hits=2, cache_misses=1, chunks_skipped=1,
+        ),
+        OperatorProfile(
+            op_id=4, parent_id=1, depth=2, operator="Scan",
+            label="Scan u", rel="u", shape="scan|",
+            est_rows=7.0, est_rows_raw=7.0, actual_rows=7,
+            wall_s=0.0003, cpu_s=0.0003, bytes_decoded=180, cache_hits=1,
+        ),
+    ]
+    return QueryProfile(
+        fingerprint="deadbeef01234567",
+        sql=(
+            "SELECT u.name, COUNT(*) AS n FROM t JOIN u ON t.grp = u.grp "
+            "WHERE t.v < 5 GROUP BY u.name"
+        ),
+        operators=ops,
+    )
+
+
+def canned_warehouse() -> TelemetryWarehouse:
+    """A deterministic dump: metrics, health, and one query profile."""
+    wh = TelemetryWarehouse(git_sha="golden0")
+    for window, auc in ((1, 0.9123), (2, 0.8941)):
+        wh.record_metrics(
+            "run-01", window, {"gauges": {"pipeline.auc": auc}}
+        )
+    health = PipelineHealthReport(families_used=["F1", "F3"])
+    health.quarantined_rows = 3
+    wh.record_health("run-01", 1, health)
+    wh.record_query_profile("run-01", 1, canned_profile())
+    return wh
+
+
+def run_script(name: str, *args: str) -> tuple[int, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPTS / name), *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    return proc.returncode, proc.stdout
+
+
+def check_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        return
+    assert path.exists(), (
+        f"missing golden file {path}; regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+    assert actual == path.read_text(), (
+        f"{name} drifted from golden output; if the change is intentional "
+        f"regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+class TestTraceReportGolden:
+    def test_tree_and_summary(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps(canned_trace()))
+        code, out = run_script("trace_report.py", str(trace))
+        assert code == 0
+        check_golden("trace_report.txt", out)
+
+    def test_analyze_profiles(self, tmp_path):
+        dump = tmp_path / "telemetry.json"
+        canned_warehouse().dump(dump)
+        code, out = run_script("trace_report.py", str(dump), "--analyze")
+        assert code == 0
+        check_golden("trace_report_analyze.txt", out)
+
+    def test_analyze_renders_repeated_runs_as_separate_trees(self, tmp_path):
+        wh = TelemetryWarehouse(git_sha="golden0")
+        profile = canned_profile()
+        wh.record_query_profile("run-01", 1, profile)
+        wh.record_query_profile("run-01", 1, profile)
+        dump = tmp_path / "telemetry.json"
+        wh.dump(dump)
+        code, out = run_script("trace_report.py", str(dump), "--analyze")
+        assert code == 0
+        headers = [l for l in out.splitlines() if l.startswith("-- run")]
+        assert len(headers) == 2
+        # Each tree keeps its own 5 operators — no interleaving.
+        assert out.count("Scan t  est=400") == 2
+
+    def test_analyze_empty_dump_fails_cleanly(self, tmp_path):
+        wh = TelemetryWarehouse(git_sha="golden0")
+        wh.record_metrics("run-01", 1, {"gauges": {"a": 1.0}})
+        dump = tmp_path / "telemetry.json"
+        wh.dump(dump)
+        code, out = run_script("trace_report.py", str(dump), "--analyze")
+        assert code == 1
+        assert "no query profiles" in out
+
+
+class TestObsDashboardGolden:
+    def test_dashboard_render(self, tmp_path):
+        dump = tmp_path / "telemetry.json"
+        canned_warehouse().dump(dump)
+        code, out = run_script("obs_dashboard.py", str(dump))
+        assert code == 0
+        check_golden("obs_dashboard.txt", out)
+
+    def test_unknown_run_fails_cleanly(self, tmp_path):
+        dump = tmp_path / "telemetry.json"
+        canned_warehouse().dump(dump)
+        code, out = run_script("obs_dashboard.py", str(dump), "--run", "nope")
+        assert code == 1
+        assert "not in dump" in out
+
+
+@pytest.mark.skipif(REGEN, reason="regenerating goldens")
+def test_golden_files_committed():
+    for name in (
+        "trace_report.txt",
+        "trace_report_analyze.txt",
+        "obs_dashboard.txt",
+    ):
+        assert (GOLDEN_DIR / name).exists(), name

@@ -282,3 +282,103 @@ class TestPruningParity:
             expected = reference_query(sql, tables)
             actual = table_rows(engine.query(sql))
             assert rows_equal(actual, expected), sql
+
+
+PROFILE_ARTIFACT_DIR = Path(__file__).resolve().parents[1] / "fuzz_profiles"
+
+
+class TestProfilingParity:
+    """Query profiling must be semantically invisible.
+
+    The full corpus runs on two engines over one catalog — profiling off
+    and profiling on — and rows must match exactly.  Every profiled query
+    must also emit a :class:`QueryProfile` whose root ``actual_rows``
+    equals the result's row count, and the collected profiles are sunk
+    into a telemetry warehouse whose dump is written to
+    ``fuzz_profiles/query_profiles.json`` for CI to upload.
+    """
+
+    def _engines(self, seed: int):
+        from repro.dataplat.telemetry import TelemetrySink, TelemetryWarehouse
+
+        tables = make_fuzz_tables(seed)
+        catalog = Catalog()
+        plain = SQLEngine(catalog)
+        for name, table in tables.items():
+            plain.register(table, name)
+        warehouse = TelemetryWarehouse(git_sha="fuzz")
+        sink = TelemetrySink(warehouse, f"fuzz-{seed}")
+        profiled = SQLEngine(
+            catalog, profiling=True, profile_sink=sink.record_query_profile
+        )
+        return tables, plain, profiled, warehouse
+
+    def _write_artifact(self, warehouse) -> Path:
+        PROFILE_ARTIFACT_DIR.mkdir(exist_ok=True)
+        path = PROFILE_ARTIFACT_DIR / "query_profiles.json"
+        warehouse.dump(path)
+        return path
+
+    def test_row_parity_and_profiles_emitted(self):
+        tables, plain, profiled, warehouse = self._engines(SEED)
+        failures = []
+        for index, sql in enumerate(generate_queries(SEED, QUERY_COUNT)):
+            try:
+                expected = reference_query(sql, tables)
+                off_rows = table_rows(plain.query(sql))
+                on_rows = table_rows(profiled.query(sql))
+            except Exception as exc:  # record, keep fuzzing
+                failures.append(
+                    {
+                        "index": index,
+                        "sql": sql,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+                continue
+            profile = profiled.last_profile
+            if (
+                not rows_equal(on_rows, expected)
+                or not rows_equal(on_rows, off_rows)
+                or profile is None
+                or profile.root().actual_rows != len(on_rows)
+            ):
+                failures.append(
+                    {
+                        "index": index,
+                        "sql": sql,
+                        "profiled_rows": len(on_rows),
+                        "plain_rows": len(off_rows),
+                        "reference_rows": len(expected),
+                        "profile_root_rows": (
+                            profile.root().actual_rows
+                            if profile is not None
+                            else None
+                        ),
+                    }
+                )
+        artifact = self._write_artifact(warehouse)
+        stored = warehouse.query(
+            "SELECT COUNT(*) AS n FROM __telemetry.query_profiles"
+        )
+        assert next(stored.rows())[0] > 0, "no profiles reached the warehouse"
+        if failures:
+            path = _write_reproducer(failures)
+            pytest.fail(
+                f"{len(failures)}/{QUERY_COUNT} queries diverged with "
+                f"profiling on (seed {SEED}); reproducer at {path}, "
+                f"profiles at {artifact}"
+            )
+
+    def test_explain_analyze_is_invisible(self):
+        """EXPLAIN ANALYZE never perturbs a later plain run of the query."""
+        tables, _, profiled, _ = self._engines(SEED + 4)
+        for sql in generate_queries(SEED + 4, 40):
+            expected = reference_query(sql, tables)
+            annotated = profiled.query(f"EXPLAIN ANALYZE {sql}")
+            assert annotated.num_rows > 0
+            assert all(
+                "actual_rows=" in str(line) for line in annotated["plan"]
+            ), sql
+            again = table_rows(profiled.query(sql))
+            assert rows_equal(again, expected), sql

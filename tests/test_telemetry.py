@@ -47,7 +47,7 @@ def _report(rng, shift=0.0):
 class TestWarehouse:
     def test_schemas_are_stable(self):
         assert set(TELEMETRY_SCHEMAS) == {
-            "spans", "metrics", "drift", "health", "alerts"
+            "spans", "metrics", "drift", "health", "alerts", "query_profiles"
         }
         for schema in TELEMETRY_SCHEMAS.values():
             assert schema.names[:3] == ("run_id", "window", "git_sha")
