@@ -4,6 +4,8 @@ Times the compute hot paths the executor backend parallelizes — RF fit,
 RF predict, dataset materialization, wide-table month builds — once on
 :class:`SerialBackend` and once on :class:`ProcessPoolBackend`, plus the
 catalog's repeated month-window scan to measure the table-cache hit rate.
+The ``sharding`` section times the 4-shard scatter-gather SQL path and a
+500k-customer wide-table-style build against the single-shard engine.
 Writes ``benchmarks/output/BENCH_micro.json``::
 
     {"meta": {...},
@@ -55,7 +57,7 @@ HISTORY_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_history.j
 
 #: Bump when the BENCH_micro.json layout changes, so downstream dashboards
 #: and the CI diff job can refuse to compare incompatible files.
-BENCH_SCHEMA_VERSION = 8
+BENCH_SCHEMA_VERSION = 9
 
 #: Telemetry sinking must stay below this fraction of window wall time.
 SINK_BUDGET = 0.05
@@ -67,6 +69,15 @@ JOURNAL_BUDGET = 0.10
 #: Query profiling (the EXPLAIN ANALYZE collector) must cost at most this
 #: fraction over the unprofiled path (gated in CI).
 PROFILE_BUDGET = 0.05
+
+#: The 4-shard scatter-gather query must beat the single-shard engine by
+#: at least this factor on the skewed planner world (best backend; gated
+#: by ``scripts/check_bench_regression.py``).
+SHARDING_SPEEDUP_FLOOR = 2.5
+
+#: The 500k-customer sharded wide-table-style build must finish within
+#: this wall-clock budget (seconds), quick mode included.
+SHARDING_WIDETABLE_BUDGET_S = 30.0
 
 
 def _git_sha() -> str:
@@ -402,16 +413,19 @@ def bench_recovery(quick: bool, repeats: int):
     }
 
 
-def _planner_world(quick: bool):
+def _planner_world(quick: bool, n_calls: int | None = None, n_cust: int | None = None):
     """The skewed multi-way-join world shared by the planner benchmarks.
 
     Returns ``(catalog, sql)``: two power-law fact tables joined to each
     other and through ``custs`` to a tiny filtered ``offers`` dimension,
-    written in the worst join order.
+    written in the worst join order.  ``bench_sharding`` reuses the same
+    generator at its own scale-out sizes via the explicit row counts.
     """
     rng = np.random.default_rng(17)
-    n_calls = 60_000 if quick else 150_000
-    n_cust = 4_000 if quick else 10_000
+    if n_calls is None:
+        n_calls = 60_000 if quick else 150_000
+    if n_cust is None:
+        n_cust = 4_000 if quick else 10_000
     n_offer = 64
 
     # Power-law customer keys: a few heavy hitters dominate, so the
@@ -597,6 +611,145 @@ def bench_serve(quick: bool):
     return run_load(population=5000, rate_rps=6000.0, duration_s=2.0)
 
 
+def bench_sharding(quick: bool, repeats: int):
+    """Scatter-gather SQL and wide-table build on a 4-shard catalog.
+
+    Part one replays the skewed planner world — at a scale where the
+    monolithic fact-to-fact join's materialized intermediate stops
+    fitting cache — on a single-shard :class:`SQLEngine` versus a 4-shard
+    :class:`ShardedSQLEngine` (cost-based off on both sides, so the plan
+    shape is identical and only the partitioning differs).  Shard-local
+    joins build four small hash tables over co-partitioned keys and the
+    decomposable aggregate is pushed below the gather, so the speedup has
+    two independent sources: smaller working sets per shard (visible even
+    on one core, via ``serial``) and true parallelism (``process``).  The
+    gate takes the best backend because a single-core CI box cannot show
+    the second effect.  All three answers must be identical rows.
+
+    Part two is the paper-scale claim: a 500k-customer wide-table-style
+    build (per-imsi join + group-by, the F1 shape) through the sharded
+    engine, traced, with the per-shard spans recorded into a
+    ``__telemetry`` warehouse.  It must finish inside
+    ``SHARDING_WIDETABLE_BUDGET_S`` and land at least one span per shard.
+    """
+    from repro.dataplat.observability import Span
+    from repro.dataplat.sharding import ShardedCatalog
+    from repro.dataplat.sql import ShardedSQLEngine, SQLEngine
+    from repro.dataplat.telemetry import TELEMETRY_DATABASE, TelemetryWarehouse
+
+    num_shards = 4
+    n_calls = 150_000 if quick else 200_000
+    n_cust = 5_000 if quick else 6_000
+    catalog, sql, meta = _planner_world(quick, n_calls=n_calls, n_cust=n_cust)
+
+    sharded = ShardedCatalog(num_shards=num_shards, shard_key="cust")
+    for name in ("calls", "events", "custs", "offers"):
+        sharded.save(catalog.load(name), name)
+
+    pool = ProcessPoolBackend(max_workers=num_shards)
+    engines = {
+        "single": SQLEngine(catalog, cost_based=False),
+        "serial": ShardedSQLEngine(
+            sharded, cost_based=False, backend=SerialBackend()
+        ),
+        "process": ShardedSQLEngine(sharded, cost_based=False, backend=pool),
+    }
+    # The monolithic side runs tens of seconds by design (the blow-up is
+    # the point), so cap this section's repeats to keep quick mode quick.
+    sh_repeats = max(1, min(repeats, 2))
+    results = {}
+    times = {}
+    for label, engine in engines.items():
+        results[label] = engine.query(sql)  # warm caches before timing
+        times[label] = _median_time(lambda e=engine: e.query(sql), sh_repeats)
+    for label in ("serial", "process"):
+        assert _norm_rows(results[label]) == _norm_rows(results["single"]), (
+            f"sharded ({label}) scatter-gather changed the query answer"
+        )
+
+    speedup_serial = times["single"] / times["serial"]
+    speedup_process = times["single"] / times["process"]
+
+    # Part two: 500k-customer wide-table-style build, traced end to end.
+    n_imsi = 500_000
+    rows_cdr = 3 * n_imsi
+    rng = np.random.default_rng(29)
+    users = Table.from_arrays(
+        imsi=np.arange(n_imsi, dtype=np.int64),
+        age=rng.integers(18, 80, size=n_imsi),
+    )
+    cdr = Table.from_arrays(
+        imsi=rng.integers(0, n_imsi, size=rows_cdr).astype(np.int64),
+        dur=rng.integers(0, 3600, size=rows_cdr),
+        sms=rng.integers(0, 20, size=rows_cdr),
+    )
+    wide_sql = (
+        "SELECT u.imsi AS imsi, u.age AS age, SUM(c.dur) AS total_dur, "
+        "COUNT(*) AS n_calls, SUM(c.sms) AS total_sms "
+        "FROM users u JOIN cdr c ON u.imsi = c.imsi "
+        "GROUP BY u.imsi, u.age ORDER BY imsi"
+    )
+    wide_sharded = ShardedCatalog(num_shards=num_shards, shard_key="imsi")
+    wide_sharded.save(users, "users")
+    wide_sharded.save(cdr, "cdr")
+    wide_engine = ShardedSQLEngine(
+        wide_sharded, cost_based=False, backend=pool
+    )
+
+    tracer = observability.Tracer()
+    previous = observability.set_tracer(tracer)
+    try:
+        start = time.perf_counter()
+        wide = wide_engine.query(wide_sql)
+        widetable_s = time.perf_counter() - start
+    finally:
+        observability.set_tracer(previous)
+
+    wide_catalog = Catalog()
+    wide_catalog.save(users, "users")
+    wide_catalog.save(cdr, "cdr")
+    reference = SQLEngine(wide_catalog, cost_based=False).query(wide_sql)
+    widetable_identical = list(wide.schema.names) == list(
+        reference.schema.names
+    ) and all(
+        np.array_equal(np.asarray(wide[c]), np.asarray(reference[c]))
+        for c in wide.schema.names
+    )
+
+    # The spans land in the __telemetry warehouse like any pipeline run.
+    warehouse = TelemetryWarehouse(git_sha=_git_sha())
+    warehouse.record_spans(
+        "bench-sharding", 1, [Span.from_dict(d) for d in tracer.export()]
+    )
+    spans = warehouse.catalog.load("spans", database=TELEMETRY_DATABASE)
+    span_names = list(spans.schema.names)
+    shard_spans = sum(
+        1
+        for values in spans.rows()
+        if "shard" in str(dict(zip(span_names, values)).get("tags", ""))
+    )
+
+    pool.close()
+    return {
+        "num_shards": num_shards,
+        "world": meta,
+        "single_s": times["single"],
+        "serial_sharded_s": times["serial"],
+        "process_sharded_s": times["process"],
+        "speedup_serial": speedup_serial,
+        "speedup_process": speedup_process,
+        "speedup": max(speedup_serial, speedup_process),
+        "speedup_floor": SHARDING_SPEEDUP_FLOOR,
+        "shard_rows_calls": sharded.shard_rows("calls"),
+        "widetable_customers": n_imsi,
+        "widetable_rows": wide.num_rows,
+        "widetable_s": widetable_s,
+        "widetable_budget_s": SHARDING_WIDETABLE_BUDGET_S,
+        "widetable_identical": bool(widetable_identical),
+        "shard_spans": shard_spans,
+    }
+
+
 def _append_history(path: pathlib.Path, result: dict) -> None:
     """Append one compact trend line for this run to ``BENCH_history.jsonl``.
 
@@ -616,6 +769,7 @@ def _append_history(path: pathlib.Path, result: dict) -> None:
         "profiling_overhead_ratio": result["query_profiling"]["overhead_ratio"],
         "serve_rps": result["serve"]["throughput_rps"],
         "serve_p99_ms": result["serve"]["p99_ms"],
+        "sharding_speedup": result["sharding"]["speedup"],
     }
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -672,6 +826,7 @@ def main(argv=None) -> int:
     planner = bench_planner(args.quick, repeats)
     query_profiling = bench_query_profiling(args.quick, repeats)
     serve = bench_serve(args.quick)
+    sharding = bench_sharding(args.quick, repeats)
     pool.close()
 
     result = {
@@ -700,6 +855,7 @@ def main(argv=None) -> int:
         "planner": planner,
         "query_profiling": query_profiling,
         "serve": serve,
+        "sharding": sharding,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(result, indent=2) + "\n")

@@ -90,9 +90,33 @@ def main() -> None:
     for town, n in zip(out["town_id"], out["porting_searchers"]):
         print(f"     town {town:>2}: {n} customers")
 
+    # ------------------------------------------------------------------
+    print("\n5. Shared-nothing sharding: scatter-gather SQL on 4 shards")
+    from repro.dataplat import ShardedCatalog, ShardedSQLEngine
+
+    sharded = ShardedSQLEngine(ShardedCatalog(num_shards=4, shard_key="imsi"))
+    sharded.register(world.month(1).tables["cdr_monthly"], "cdr")
+    rows = sharded.catalog.shard_rows("cdr")
+    print(f"   cdr_monthly hash-split on imsi -> per-shard rows {rows}")
+    heavy_sql = (
+        "SELECT imsi, SUM(voice_dur) AS total_dur, SUM(all_call_cnt) AS n "
+        "FROM cdr GROUP BY imsi ORDER BY total_dur DESC, imsi LIMIT 3"
+    )
+    top = sharded.query(heavy_sql)
+    single = SQLEngine()
+    single.register(world.month(1).tables["cdr_monthly"], "cdr")
+    reference = single.query(heavy_sql)
+    identical = all(
+        list(top[c]) == list(reference[c]) for c in top.schema.names
+    )
+    print("   heaviest callers (aggregated shard-local, gathered):")
+    for imsi, dur, n in zip(top["imsi"], top["total_dur"], top["n"]):
+        print(f"     imsi {imsi}: {dur:.0f} s over {n} calls")
+    print(f"   bit-identical to the single-shard engine: {identical}")
+
     print(
-        "\nEverything above — storage, ETL, shuffles, SQL — is what the "
-        "feature pipeline in repro.features uses under the hood."
+        "\nEverything above — storage, ETL, shuffles, SQL, sharding — is "
+        "what the feature pipeline in repro.features uses under the hood."
     )
 
 

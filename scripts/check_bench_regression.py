@@ -9,9 +9,11 @@ the ISSUE asks for so a later change cannot quietly give the win back.
 Beyond the single committed snapshot, the gate also trends against the
 committed ``BENCH_history.jsonl`` (one line per past run, appended by
 ``baseline.py``): with at least three comparable history entries (same
-schema version and ``--quick`` flag), the columnar floor is the *median*
-historical speedup minus the tolerance — one lucky committed run can no
-longer mask a slow drift.
+schema version and ``--quick`` flag), the columnar, planner, and serve
+floors are derived from the *median* historical numbers minus their
+tolerances — one lucky committed run can no longer mask a slow drift.
+Absolute hard floors (the 2x planner minimum, the serve SLOs, the 2.5x
+sharding scale-out minimum) still apply whatever the history says.
 
 Usage::
 
@@ -87,6 +89,25 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--serve-tolerance",
+        type=float,
+        default=0.5,
+        help=(
+            "allowed fractional drift vs the historical median serve "
+            "numbers (throughput down, p99 up); generous because a CI "
+            "box is noisy, and the absolute SLO floors always apply"
+        ),
+    )
+    parser.add_argument(
+        "--sharding-tolerance",
+        type=float,
+        default=0.5,
+        help=(
+            "allowed fractional drop vs the historical median sharding "
+            "speedup; the 2.5x scale-out hard floor always applies"
+        ),
+    )
+    parser.add_argument(
         "--history",
         type=pathlib.Path,
         default=DEFAULT_HISTORY,
@@ -138,9 +159,15 @@ def main(argv=None) -> int:
         planner_trend = ", ".join(
             f"{float(e['planner_speedup']):.1f}x" for e in history[-5:]
         )
+        sharding_trend = ", ".join(
+            f"{float(e['sharding_speedup']):.1f}x"
+            for e in history[-5:]
+            if "sharding_speedup" in e
+        )
         print(
             f"bench history: {len(history)} comparable runs "
-            f"(columnar: {scan_trend}; planner: {planner_trend})"
+            f"(columnar: {scan_trend}; planner: {planner_trend}; "
+            f"sharding: {sharding_trend or 'n/a'})"
         )
 
     recovery = current.get("recovery")
@@ -165,13 +192,19 @@ def main(argv=None) -> int:
         return 2
     cur_cbo = float(planner["speedup"])
     base_cbo = float(base_planner["speedup"])
+    cbo_reference = f"committed {base_cbo:.2f}x"
+    if len(history) >= 3:
+        base_cbo = statistics.median(
+            float(e["planner_speedup"]) for e in history
+        )
+        cbo_reference = f"history median ({len(history)} runs) {base_cbo:.2f}x"
     # Hard floor of 2x: the cost-based optimizer must at least halve the
     # skewed-join wall time, whatever the committed baseline says.
     cbo_floor = max(2.0, base_cbo * (1.0 - args.planner_tolerance))
     cbo_bad = cur_cbo < cbo_floor
     print(
-        f"planner CBO speedup: current {cur_cbo:.2f}x, committed "
-        f"{base_cbo:.2f}x, floor {cbo_floor:.2f}x -> "
+        f"planner CBO speedup: current {cur_cbo:.2f}x, "
+        f"{cbo_reference}, floor {cbo_floor:.2f}x -> "
         f"{'REGRESSION' if cbo_bad else 'OK'} "
         f"(estimate q-error mean {float(planner['estimate_error_mean_q']):.2f}, "
         f"max {float(planner['estimate_error_max_q']):.2f})"
@@ -199,20 +232,81 @@ def main(argv=None) -> int:
         print("current file has no serve section", file=sys.stderr)
         return 2
     # The serve section ships its own hard floors (absolute SLOs, not
-    # relative-to-baseline: a quick CI box must still clear them).
+    # relative-to-baseline: a quick CI box must still clear them).  With
+    # enough history the floors tighten to the historical medians minus
+    # the serve tolerance — whichever bound is stricter wins.
     floor = serve.get("floor", {})
     rps = float(serve["throughput_rps"])
     rps_floor = float(floor.get("throughput_rps", 5000.0))
     p99 = float(serve["p99_ms"])
     p99_floor = float(floor.get("p99_ms", 50.0))
+    serve_reference = "SLO floors"
+    if len(history) >= 3:
+        median_rps = statistics.median(
+            float(e["serve_rps"]) for e in history
+        )
+        median_p99 = statistics.median(
+            float(e["serve_p99_ms"]) for e in history
+        )
+        rps_floor = max(
+            rps_floor, median_rps * (1.0 - args.serve_tolerance)
+        )
+        p99_floor = min(
+            p99_floor, median_p99 * (1.0 + args.serve_tolerance)
+        )
+        serve_reference = (
+            f"history medians ({len(history)} runs) "
+            f"{median_rps:,.0f} req/s / {median_p99:.2f} ms"
+        )
     serve_bad = rps < rps_floor or p99 > p99_floor
     print(
         f"serve load: {rps:,.0f} req/s (floor {rps_floor:,.0f}), "
-        f"p99 {p99:.2f} ms (budget {p99_floor:.0f} ms), "
-        f"shed {serve.get('shed', '?')} -> "
+        f"p99 {p99:.2f} ms (budget {p99_floor:.2f} ms), "
+        f"shed {serve.get('shed', '?')}, {serve_reference} -> "
         f"{'REGRESSION' if serve_bad else 'OK'}"
     )
     failed = failed or serve_bad
+
+    sharding = current.get("sharding")
+    if sharding is None:
+        print("current file has no sharding section", file=sys.stderr)
+        return 2
+    # Hard floor: scatter-gather at 4 shards must beat the single-shard
+    # engine by the factor the section itself declares (2.5x), whatever
+    # the committed history says.  History tightens the floor upward.
+    sh_speedup = float(sharding["speedup"])
+    sh_floor = float(sharding.get("speedup_floor", 2.5))
+    sh_reference = "hard floor"
+    if len(history) >= 3:
+        sh_median = statistics.median(
+            float(e["sharding_speedup"]) for e in history
+        )
+        sh_floor = max(
+            sh_floor, sh_median * (1.0 - args.sharding_tolerance)
+        )
+        sh_reference = (
+            f"history median ({len(history)} runs) {sh_median:.2f}x"
+        )
+    wt_s = float(sharding["widetable_s"])
+    wt_budget = float(sharding.get("widetable_budget_s", 30.0))
+    shard_spans = int(sharding.get("shard_spans", 0))
+    num_shards = int(sharding.get("num_shards", 4))
+    sh_bad = (
+        sh_speedup < sh_floor
+        or wt_s > wt_budget
+        or shard_spans < num_shards
+        or not sharding.get("widetable_identical", False)
+    )
+    print(
+        f"sharding scale-out: {sh_speedup:.2f}x at {num_shards} shards "
+        f"(floor {sh_floor:.2f}x, {sh_reference}), "
+        f"{sharding.get('widetable_customers', '?'):,}-customer widetable "
+        f"{wt_s:.2f}s (budget {wt_budget:.0f}s), "
+        f"{shard_spans} shard spans, "
+        f"identical={sharding.get('widetable_identical')} -> "
+        f"{'REGRESSION' if sh_bad else 'OK'}"
+    )
+    failed = failed or sh_bad
 
     return 1 if failed else 0
 

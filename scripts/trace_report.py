@@ -100,6 +100,59 @@ def render_summary(roots: list[Span], top: int) -> list[str]:
     return lines
 
 
+def render_shards(roots: list[Span]) -> list[str]:
+    """Per-shard wall/self rollup over spans tagged ``shard=N``.
+
+    A span carrying a ``shard`` tag (e.g. the ``shard.execute`` /
+    ``shard.widetable`` roots the scatter-gather paths emit) claims its
+    whole subtree for that shard; *wall* accumulates only at those entry
+    spans (so nested spans are not double-counted) while *self* sums every
+    attributed span's own time.  The closing skew line is the point of the
+    report: a max/mean wall ratio well above 1 means the gather is waiting
+    on one hot shard.  Returns no lines when the trace has no shard tags,
+    so unsharded traces render exactly as before.
+    """
+    buckets: dict[object, dict[str, float]] = {}
+
+    def visit(span: Span, inherited) -> None:
+        tag = span.tags.get("shard", inherited) if span.tags else inherited
+        if tag is not None:
+            bucket = buckets.setdefault(
+                tag, {"spans": 0, "wall_s": 0.0, "self_s": 0.0}
+            )
+            bucket["spans"] += 1
+            if tag != inherited:
+                bucket["wall_s"] += span.wall_s
+            bucket["self_s"] += max(
+                span.wall_s - sum(c.wall_s for c in span.children), 0.0
+            )
+        for child in span.children:
+            visit(child, tag)
+
+    for root in roots:
+        visit(root, None)
+    if not buckets:
+        return []
+
+    def order(key):
+        if isinstance(key, (int, float)):
+            return (0, key, "")
+        return (1, 0, str(key))
+
+    lines = [f"{'shard':>5}  {'spans':>6}  {'wall':>10}  {'self':>10}"]
+    for key in sorted(buckets, key=order):
+        agg = buckets[key]
+        lines.append(
+            f"{key!s:>5}  {agg['spans']:>6.0f}  "
+            f"{agg['wall_s'] * 1e3:>8.2f}ms  {agg['self_s'] * 1e3:>8.2f}ms"
+        )
+    walls = [b["wall_s"] for b in buckets.values()]
+    mean = sum(walls) / len(walls)
+    if mean > 0:
+        lines.append(f"skew: max/mean wall = {max(walls) / mean:.2f}")
+    return lines
+
+
 def _profile_groups(warehouse: TelemetryWarehouse) -> list[tuple]:
     """Stored profiles as ``((run, window, fingerprint), sql, ops)`` groups.
 
@@ -239,6 +292,12 @@ def main(argv=None) -> int:
     print("== summary (by span name, wall-time descending) ==")
     for line in render_summary(roots, args.top):
         print(line)
+    shard_lines = render_shards(roots)
+    if shard_lines:
+        print()
+        print("== shards (scatter-gather rollup) ==")
+        for line in shard_lines:
+            print(line)
     return 0
 
 

@@ -23,6 +23,10 @@ Hive / Spark SQL.  This package is a faithful single-process analogue:
   through every hot path above.
 * :mod:`repro.dataplat.journal` — the write-ahead journal behind the
   catalog's crash-atomic commits, plus recovery and fsck.
+* :mod:`repro.dataplat.sharding` — shared-nothing horizontal scale-out:
+  the hash partitioner, :class:`~repro.dataplat.sharding.ShardedCatalog`
+  (N independent catalogs co-partitioned on the customer id), and the
+  :class:`~repro.dataplat.sharding.ShuffleExchange` repartition operator.
 """
 
 from .blockstore import BlockStore, FileStatus, StorageHealth
@@ -47,7 +51,8 @@ from .resilience import (
     TaskRuntime,
 )
 from .schema import Column, ColumnType, Schema
-from .sql import SQLEngine
+from .sharding import Placement, ShardedCatalog, ShuffleExchange, shard_of
+from .sql import ShardedSQLEngine, SQLEngine
 from .table import Table
 from .telemetry import TELEMETRY_DATABASE, TelemetrySink, TelemetryWarehouse
 
@@ -66,8 +71,13 @@ __all__ = [
     "FileStatus",
     "MetricsRegistry",
     "PipelineHealthReport",
+    "Placement",
     "RetryPolicy",
     "Schema",
+    "ShardedCatalog",
+    "ShardedSQLEngine",
+    "shard_of",
+    "ShuffleExchange",
     "SimClock",
     "SQLEngine",
     "StorageHealth",

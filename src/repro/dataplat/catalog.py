@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from ..errors import CatalogError, StorageError
 from .blockstore import DEFAULT_TABLE_CACHE_BYTES, BlockStore, TableCache
+from .executor import ExecutorBackend, resolve_backend
 from .columnar import (
     CHUNK_SUFFIX,
     MANIFEST_SUFFIX,
@@ -49,6 +50,11 @@ from .journal import (
 from .observability import get_metrics, span
 from .schema import Schema
 from .table import Table
+
+#: Below these floors a scan decodes serially even with a parallel decode
+#: backend configured — fan-out overhead would dominate the decode work.
+PARALLEL_DECODE_MIN_CHUNKS = 4
+PARALLEL_DECODE_MIN_BYTES = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -88,6 +94,13 @@ class Catalog:
         By default every save/drop runs as a journaled transaction with
         fsync barriers at the commit point; ``Durability.disabled()``
         restores the pre-journal direct write path.
+    decode_backend:
+        Optional :class:`~.executor.ExecutorBackend` (or kind string) that
+        :meth:`scan` fans surviving partitions' column-chunk decodes out
+        through, the same pattern as the wide-table prefetch.  ``None``
+        (the default) keeps the serial decode path; small scans stay
+        serial regardless (see ``PARALLEL_DECODE_MIN_CHUNKS``/``_BYTES``).
+        Results and cache/bytes accounting are identical either way.
     """
 
     #: Partition value used for unpartitioned tables.
@@ -99,6 +112,7 @@ class Catalog:
         cache_bytes: int = DEFAULT_TABLE_CACHE_BYTES,
         default_format: str = "v2",
         durability: Durability | None = None,
+        decode_backend: "ExecutorBackend | str | None" = None,
     ) -> None:
         if default_format not in ("v1", "v2"):
             raise CatalogError(
@@ -106,6 +120,7 @@ class Catalog:
             )
         self._store = store if store is not None else BlockStore()
         self._format = default_format
+        self._decode_backend = decode_backend
         self._durability = durability if durability is not None else Durability()
         self._tables: dict[tuple[str, str], dict[str, str]] = {}
         self._schemas: dict[tuple[str, str], Schema] = {}
@@ -127,6 +142,15 @@ class Catalog:
         #: constructor use, where no recovery runs).
         self.last_recovery: RecoveryReport | None = None
         self._store.add_invalidation_listener(self._on_invalidated)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        if isinstance(state.get("_decode_backend"), ExecutorBackend):
+            # Backends own OS pool handles and never travel; a pickled
+            # catalog copy (e.g. shipped to a shard worker) decodes
+            # serially, which is always result-identical.
+            state["_decode_backend"] = None
+        return state
 
     @classmethod
     def open(
@@ -516,14 +540,17 @@ class Catalog:
             sel = [c for c in columns if c in schema]
         health = self._store.health
         with span("catalog.scan", table=f"{key[0]}.{key[1]}") as sp:
-            pieces: list[Table] = []
+            # Pass 1: prune, leaving an ordered mix of already-materialized
+            # pieces (temp views, v1) and surviving v2 partitions.
+            ordered: list[tuple[str, object]] = []
+            survivors: list[tuple[str, object, list]] = []
             for pname in sorted(parts):
                 path = parts[pname]
                 if path in self._temp or not path.endswith(MANIFEST_SUFFIX):
                     piece = self._read(path)
                     if sel is not None:
                         piece = piece.select(sel)
-                    pieces.append(piece)
+                    ordered.append(("table", piece))
                     continue
                 manifest = self._manifest(path)
                 wanted = (
@@ -561,7 +588,24 @@ class Catalog:
                         projected_away
                     )
                     metrics.counter("columnar.bytes_decoded_saved").inc(saved)
-                pieces.append(self._read_v2(path, sel, manifest))
+                ordered.append(("v2", path))
+                survivors.append((path, manifest, list(wanted)))
+            # Pass 2: prefetch-decode the survivors' missing chunks through
+            # the configured backend (no-op without one, or below the
+            # small-scan floors).  Cache hit/miss and bytes accounting stay
+            # in _read_v2, so counters match the serial path exactly.
+            decoded = self._prefetch_chunks(survivors)
+            pieces: list[Table] = []
+            manifests = {path: manifest for path, manifest, _ in survivors}
+            for kind, value in ordered:
+                if kind == "table":
+                    pieces.append(value)
+                else:
+                    pieces.append(
+                        self._read_v2(
+                            value, sel, manifests[value], decoded=decoded
+                        )
+                    )
             if not pieces:
                 out_schema = schema if sel is None else schema.select(sel)
                 sp.incr("rows", 0)
@@ -817,13 +861,62 @@ class Catalog:
         self._cache.put(path, table, table.nbytes)
         return table
 
+    def _prefetch_chunks(self, survivors) -> dict | None:
+        """Decode surviving partitions' missing chunks through the backend.
+
+        ``survivors`` is ``[(path, manifest, wanted_metas)]`` from
+        :meth:`scan`'s pruning pass.  Payload reads happen here in the
+        parent (the store never travels to workers); only the pure
+        ``decode_column`` calls fan out.  Cache lookups use :meth:`peek`
+        so the hit/miss counters are untouched — :meth:`_read_v2` still
+        performs the one counted ``get`` per chunk, and does the
+        ``bytes_decoded``/``put`` accounting for prefetched arrays in its
+        miss branch, exactly like a serial decode.
+        """
+        if self._decode_backend is None or not survivors:
+            return None
+        backend = resolve_backend(self._decode_backend)
+        if backend.parallelism <= 1:
+            return None
+        metas = []
+        seen: set[str] = set()
+        for _, _, wanted in survivors:
+            for meta in wanted:
+                if meta.path in seen or self._cache.peek(meta.path) is not None:
+                    continue
+                seen.add(meta.path)
+                metas.append(meta)
+        if (
+            len(metas) < PARALLEL_DECODE_MIN_CHUNKS
+            or sum(m.decoded_bytes for m in metas) < PARALLEL_DECODE_MIN_BYTES
+        ):
+            return None
+        payloads = [self._store.read(m.path) for m in metas]
+        with span(
+            "catalog.parallel_decode",
+            chunks=len(metas),
+            backend=backend.name,
+        ):
+            arrays = backend.map(decode_column, payloads)
+        get_metrics().counter("columnar.parallel_decode_chunks").inc(
+            len(metas)
+        )
+        return {m.path: arr for m, arr in zip(metas, arrays)}
+
     def _read_v2(
         self,
         path: str,
         columns: list[str] | None,
         manifest: PartitionManifest | None = None,
+        decoded: dict | None = None,
     ) -> Table:
-        """Assemble a table from per-column chunks (cache keyed per chunk)."""
+        """Assemble a table from per-column chunks (cache keyed per chunk).
+
+        ``decoded`` optionally maps chunk paths to arrays a prefetch pass
+        already decoded; consuming one still runs the miss-branch
+        accounting (``bytes_decoded`` + cache insert) so counters match
+        the serial decode path.
+        """
         if manifest is None:
             manifest = self._manifest(path)
         if columns is None:
@@ -835,7 +928,10 @@ class Catalog:
         for meta in metas:
             arr = self._cache.get(meta.path)
             if arr is None:
-                arr = decode_column(self._store.read(meta.path))
+                if decoded is not None:
+                    arr = decoded.pop(meta.path, None)
+                if arr is None:
+                    arr = decode_column(self._store.read(meta.path))
                 self._store.health.bytes_decoded += array_nbytes(arr)
                 self._cache.put(meta.path, arr, array_nbytes(arr))
             data[meta.name] = arr

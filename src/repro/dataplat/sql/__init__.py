@@ -19,5 +19,12 @@ The public entry point is :class:`SQLEngine`.
 from .engine import SQLEngine
 from .feedback import CardinalityFeedback
 from .profile import QueryProfile, fingerprint
+from .scatter import ShardedSQLEngine
 
-__all__ = ["SQLEngine", "CardinalityFeedback", "QueryProfile", "fingerprint"]
+__all__ = [
+    "SQLEngine",
+    "ShardedSQLEngine",
+    "CardinalityFeedback",
+    "QueryProfile",
+    "fingerprint",
+]

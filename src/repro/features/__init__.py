@@ -20,6 +20,7 @@ F9    FM-selected second-order products (20)      :mod:`.second_order`
 into the unified wide table the classifiers consume.
 """
 
+from .sharded import SHARDED_CATEGORIES, ShardedWideTableBuilder
 from .spec import ALL_CATEGORIES, CATEGORY_INFO, FeatureMatrix
 from .widetable import WideTableBuilder
 
@@ -27,5 +28,7 @@ __all__ = [
     "ALL_CATEGORIES",
     "CATEGORY_INFO",
     "FeatureMatrix",
+    "SHARDED_CATEGORIES",
+    "ShardedWideTableBuilder",
     "WideTableBuilder",
 ]

@@ -1,0 +1,253 @@
+"""Shard-parallel wide-table assembly.
+
+:class:`ShardedWideTableBuilder` splits the per-customer feature families
+(F1 BSS, F2 CS, F3 PS) across N hash shards of the customer id and builds
+each shard's block in parallel over an
+:class:`~repro.dataplat.executor.ExecutorBackend`.  The split reuses the
+:func:`~repro.dataplat.sharding.shard_of` partitioner, so the feature
+layer and the :class:`~repro.dataplat.sharding.ShardedCatalog` agree on
+where a customer lives.
+
+The decomposition is exact, not approximate: F1..F3 are per-imsi SQL
+(every GROUP BY and join key is ``imsi``), so filtering each raw table to
+one shard's customers and running the unchanged family query yields
+exactly the rows the full-table query would produce for those customers.
+Gathering concatenates the shard blocks and restores global imsi order —
+the result is bit-identical to the single-process
+:class:`~repro.features.widetable.WideTableBuilder`.
+
+The world-coupled families stay central: F4..F6 walk the social graphs
+(a customer's features depend on neighbours on *other* shards), F7/F8
+fit/transform against the whole month's corpus, and F9 is a transform of
+the (already gathered) F1 block.  They are built once by an embedded
+central builder, which also keeps train/test extractor hygiene in one
+place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..datagen.simulator import TelcoWorld
+from ..dataplat import observability
+from ..dataplat.executor import ExecutorBackend, resolve_backend
+from ..dataplat.observability import get_metrics, span
+from ..dataplat.sharding import shard_of
+from ..errors import FeatureError
+from .spec import ALL_CATEGORIES, FeatureMatrix
+from .widetable import WideTableBuilder
+
+#: Families whose queries key every group-by and join on ``imsi`` — safe
+#: to build shard-local with zero data movement.
+SHARDED_CATEGORIES = ("F1", "F2", "F3")
+
+
+class _ShardSource:
+    """Month-table source restricted to one shard's customers.
+
+    Top-level and free of engine handles so it pickles into process-pool
+    workers.  Every simulator table carries an ``imsi`` column; rows whose
+    customer hashes elsewhere are masked out, preserving row order within
+    the shard so downstream aggregates see the same per-customer row
+    sequence as the unsharded build.
+    """
+
+    def __init__(self, world: TelcoWorld, shard_id: int, num_shards: int):
+        self._world = world
+        self._shard_id = int(shard_id)
+        self._num_shards = int(num_shards)
+
+    def __call__(self, month: int) -> dict:
+        out = {}
+        for name, table in self._world.month(month).tables.items():
+            if "imsi" in table.schema.names:
+                codes = shard_of(table.column("imsi"), self._num_shards)
+                table = table.mask(codes == self._shard_id)
+            out[name] = table
+        return out
+
+
+def _build_shard_blocks(args):
+    """Build one shard's slice of the requested families (worker body).
+
+    Top-level for picklability.  The worker gets the world plus builder
+    settings — cheaper than shipping a builder with warm caches — and
+    roots its spans at ``shard.widetable`` tagged with the shard id, so a
+    trace of the fan-out shows per-shard skew directly.
+    """
+    world, seed, scan_pruning, month, categories, shard_id, num_shards, traced = args
+    worker_tracer = observability.Tracer() if traced else None
+    previous = observability.set_tracer(worker_tracer) if traced else None
+    try:
+        builder = WideTableBuilder(
+            world,
+            seed=seed,
+            table_source=_ShardSource(world, shard_id, num_shards),
+            scan_pruning=scan_pruning,
+        )
+        with span("shard.widetable", shard=shard_id, month=month) as sp:
+            blocks = {c: builder.category(c, month) for c in categories}
+            sp.incr("rows", sum(len(b.imsi) for b in blocks.values()))
+    finally:
+        if traced:
+            observability.set_tracer(previous)
+    spans = worker_tracer.export() if worker_tracer is not None else None
+    return blocks, spans
+
+
+def _gather_block(parts: list[FeatureMatrix]) -> FeatureMatrix:
+    """Concatenate shard blocks and restore global imsi order.
+
+    Each family query ends ``ORDER BY imsi``, so shard blocks arrive
+    internally sorted; a stable argsort over the concatenated (unique)
+    imsi column reproduces exactly the row order of the unsharded build.
+    """
+    names = list(parts[0].names)
+    for part in parts[1:]:
+        if list(part.names) != names:
+            raise FeatureError(
+                "shard blocks disagree on feature columns; "
+                "cannot gather a consistent wide table"
+            )
+    imsi = np.concatenate([p.imsi for p in parts])
+    values = np.vstack([p.values for p in parts])
+    order = np.argsort(imsi, kind="stable")
+    return FeatureMatrix(imsi[order], names, values[order])
+
+
+class ShardedWideTableBuilder:
+    """Drop-in :class:`WideTableBuilder` that fans F1..F3 across shards.
+
+    Parameters
+    ----------
+    world:
+        The simulated history.
+    num_shards:
+        Hash-shard count for the per-customer families.
+    seed, scan_pruning:
+        Forwarded to the per-shard and central builders.
+    backend:
+        :class:`~repro.dataplat.executor.ExecutorBackend` (or name) the
+        shard tasks run on; default resolves like the widetable prefetch.
+    """
+
+    def __init__(
+        self,
+        world: TelcoWorld,
+        num_shards: int,
+        seed: int = 0,
+        scan_pruning: bool = True,
+        backend: "ExecutorBackend | str | None" = None,
+    ) -> None:
+        if num_shards < 1:
+            raise FeatureError(f"num_shards must be >= 1, got {num_shards}")
+        self._world = world
+        self._num_shards = int(num_shards)
+        self._seed = seed
+        self._scan_pruning = scan_pruning
+        self._backend = backend
+        self._central = WideTableBuilder(
+            world, seed=seed, scan_pruning=scan_pruning
+        )
+
+    @property
+    def world(self) -> TelcoWorld:
+        return self._world
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def central(self) -> WideTableBuilder:
+        """The embedded single-process builder (world-coupled families)."""
+        return self._central
+
+    def fit_extractors(
+        self, train_months: list[int], train_labels: dict
+    ) -> "ShardedWideTableBuilder":
+        """Fit LDA/FM extractors; F1 training blocks build shard-parallel."""
+        for month in train_months:
+            self._warm(month, ("F1",))
+        self._central.fit_extractors(train_months, train_labels)
+        return self
+
+    def category(self, category: str, month: int) -> FeatureMatrix:
+        """One F-block for one month — sharded for F1..F3, else central."""
+        if category in SHARDED_CATEGORIES:
+            self._warm(month, (category,))
+        return self._central.category(category, month)
+
+    def features(
+        self, month: int, categories: "tuple[str, ...] | list[str]"
+    ) -> FeatureMatrix:
+        """The month's wide table; per-customer families build sharded."""
+        sharded = tuple(
+            c for c in dict.fromkeys(categories) if c in SHARDED_CATEGORIES
+        )
+        if sharded:
+            self._warm(month, sharded)
+        return self._central.features(month, categories)
+
+    def surviving_categories(self, months, categories, health=None):
+        """Delegates to the central builder (probe path is shared)."""
+        return self._central.surviving_categories(months, categories, health)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _warm(self, month: int, categories: Sequence[str]) -> None:
+        """Scatter-build the missing sharded families into the cache.
+
+        Finished blocks are seeded into the central builder's cache, so
+        every downstream consumer (``features``, F9's transform of F1,
+        the FM selector fit) sees exactly the gathered matrices.
+        """
+        for category in categories:
+            if category not in ALL_CATEGORIES:
+                raise FeatureError(
+                    f"unknown category {category!r}; expected one of "
+                    f"{ALL_CATEGORIES}"
+                )
+        missing = tuple(
+            c for c in dict.fromkeys(categories)
+            if c in SHARDED_CATEGORIES and (c, month) not in self._central._cache
+        )
+        if not missing:
+            return
+        resolved = resolve_backend(self._backend)
+        traced = observability.enabled()
+        tasks = [
+            (
+                self._world,
+                self._seed,
+                self._scan_pruning,
+                month,
+                missing,
+                shard_id,
+                self._num_shards,
+                traced,
+            )
+            for shard_id in range(self._num_shards)
+        ]
+        with span(
+            "shard.features",
+            month=month,
+            shards=self._num_shards,
+            backend=resolved.name,
+        ):
+            tracer = observability.get_tracer()
+            per_shard: list[dict] = []
+            for blocks, spans in resolved.map(_build_shard_blocks, tasks):
+                per_shard.append(blocks)
+                if spans and tracer is not None:
+                    tracer.attach(spans)
+            metrics = get_metrics()
+            metrics.counter("shard.widetable_tasks").inc(len(tasks))
+            for category in missing:
+                block = _gather_block([b[category] for b in per_shard])
+                metrics.counter("shard.widetable_rows").inc(len(block.imsi))
+                self._central._cache[(category, month)] = block

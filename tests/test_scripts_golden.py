@@ -69,6 +69,51 @@ def canned_trace() -> dict:
     }
 
 
+def canned_sharded_trace() -> dict:
+    """A scatter-gather query trace with hand-written per-shard skew."""
+    def execute(shard: int, wall: float) -> dict:
+        return {
+            "name": "shard.execute",
+            "wall_s": wall,
+            "cpu_s": wall * 0.9,
+            "tags": {"shard": shard},
+            "children": [
+                {
+                    "name": "sql.execute",
+                    "wall_s": wall * 0.8,
+                    "cpu_s": wall * 0.7,
+                }
+            ],
+        }
+
+    return {
+        "spans": [
+            {
+                "name": "shard.query",
+                "wall_s": 0.200,
+                "cpu_s": 0.160,
+                "children": [
+                    {"name": "shard.plan", "wall_s": 0.010, "cpu_s": 0.009},
+                    {
+                        "name": "shard.scatter",
+                        "wall_s": 0.170,
+                        "cpu_s": 0.140,
+                        "tags": {"backend": "serial"},
+                        "counters": {"rows": 480.0},
+                        "children": [
+                            execute(0, 0.080),
+                            execute(1, 0.030),
+                            execute(2, 0.025),
+                            execute(3, 0.030),
+                        ],
+                    },
+                    {"name": "shard.merge", "wall_s": 0.015, "cpu_s": 0.012},
+                ],
+            }
+        ]
+    }
+
+
 def canned_profile() -> QueryProfile:
     """One fabricated query profile: scan -> filter -> aggregate."""
     ops = [
@@ -166,6 +211,20 @@ class TestTraceReportGolden:
         assert code == 0
         check_golden("trace_report.txt", out)
 
+    def test_shard_rollup(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps(canned_sharded_trace()))
+        code, out = run_script("trace_report.py", str(trace))
+        assert code == 0
+        assert "== shards (scatter-gather rollup) ==" in out
+        check_golden("trace_report_shards.txt", out)
+
+    def test_unsharded_trace_has_no_shard_section(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps(canned_trace()))
+        _, out = run_script("trace_report.py", str(trace))
+        assert "shards" not in out
+
     def test_analyze_profiles(self, tmp_path):
         dump = tmp_path / "telemetry.json"
         canned_warehouse().dump(dump)
@@ -218,6 +277,7 @@ def test_golden_files_committed():
     for name in (
         "trace_report.txt",
         "trace_report_analyze.txt",
+        "trace_report_shards.txt",
         "obs_dashboard.txt",
     ):
         assert (GOLDEN_DIR / name).exists(), name

@@ -1,0 +1,403 @@
+"""Shared-nothing sharding: partitioner, catalog, shuffle, scatter-gather.
+
+The partitioner tests are property-based (hypothesis): the whole sharding
+design rests on ``shard_of`` being a pure, platform-independent function
+of the key value — same id, same shard, forever — and on CRC32
+avalanching skewed real-world id distributions into balanced shards.
+The rest covers the :class:`ShardedCatalog` placement/round-trip
+contract, the :class:`ShuffleExchange` (memoization and spill-to-store),
+scatter-gather SQL parity against the single-shard engine, and the
+shard-parallel wide-table builder's bit-identity guarantee.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplat.executor import ProcessPoolBackend, SerialBackend
+from repro.dataplat.sharding import (
+    DEFAULT_SPILL_BYTES,
+    SHUFFLE_DATABASE,
+    Placement,
+    ShardedCatalog,
+    ShuffleExchange,
+    shard_of,
+)
+from repro.dataplat.sql import ShardedSQLEngine, SQLEngine
+from repro.dataplat.table import Table
+
+int64s = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+shard_counts = st.sampled_from([1, 2, 3, 4, 8, 16])
+
+
+def _reference_shard(value: int, num_shards: int) -> int:
+    """The stability contract, spelled out byte by byte."""
+    crc = zlib.crc32(int(value).to_bytes(8, "little", signed=True))
+    return crc % num_shards
+
+
+class TestPartitionerStability:
+    @given(value=int64s, num_shards=shard_counts)
+    def test_scalar_matches_zlib_reference(self, value, num_shards):
+        assert shard_of(value, num_shards) == _reference_shard(
+            value, num_shards
+        )
+
+    @given(values=st.lists(int64s, min_size=1, max_size=50), num_shards=shard_counts)
+    def test_vectorized_matches_scalar(self, values, num_shards):
+        arr = np.array(values, dtype=np.int64)
+        vec = shard_of(arr, num_shards)
+        assert list(vec) == [shard_of(int(v), num_shards) for v in values]
+
+    @given(values=st.lists(int64s, min_size=2, max_size=50), num_shards=shard_counts)
+    def test_insertion_order_independent(self, values, num_shards):
+        """Shard assignment is per-value: any permutation maps identically."""
+        arr = np.array(values, dtype=np.int64)
+        perm = np.random.default_rng(0).permutation(len(arr))
+        direct = shard_of(arr, num_shards)
+        permuted = shard_of(arr[perm], num_shards)
+        assert list(direct[perm]) == list(permuted)
+
+    @given(value=st.text(max_size=30), num_shards=shard_counts)
+    def test_string_keys_match_utf8_reference(self, value, num_shards):
+        expected = zlib.crc32(value.encode()) % num_shards
+        assert shard_of(value, num_shards) == expected
+
+    def test_pinned_values(self):
+        """Anchors against silent algorithm drift between versions.
+
+        These literals were computed from the zlib reference; a failure
+        here means previously-written shards can no longer be found.
+        """
+        assert shard_of(0, 4) == 1
+        assert shard_of(1, 4) == 3
+        assert shard_of(123456789, 4) == 1
+        assert shard_of(-1, 4) == 0
+        assert shard_of("imsi-0001", 4) == 2
+
+    def test_single_shard_maps_everything_to_zero(self):
+        arr = np.arange(-500, 500, dtype=np.int64)
+        assert set(shard_of(arr, 1)) == {0}
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            shard_of(7, 0)
+
+    def test_non_key_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            shard_of(np.array([1.5, 2.5]), 4)
+
+    @pytest.mark.parametrize("num_shards", [2, 4, 8])
+    @pytest.mark.parametrize(
+        "name, ids",
+        [
+            (
+                "power_law",
+                lambda: (
+                    40_000 * np.random.default_rng(3).random(25_000) ** 2
+                ).astype(np.int64),
+            ),
+            ("contiguous", lambda: np.arange(24_000, dtype=np.int64)),
+            (
+                "strided",
+                lambda: np.arange(0, 20_000 * 64, 64, dtype=np.int64),
+            ),
+        ],
+    )
+    def test_skewed_distributions_balance(self, num_shards, name, ids):
+        """CRC32 avalanches low-entropy ids: max/min shard load <= 1.3."""
+        codes = shard_of(ids(), num_shards)
+        histogram = np.bincount(codes, minlength=num_shards)
+        assert histogram.min() > 0, (name, histogram)
+        ratio = histogram.max() / histogram.min()
+        assert ratio <= 1.3, (name, num_shards, histogram.tolist())
+
+
+def _make_facts(n_rows: int = 400, n_keys: int = 37, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    return Table.from_arrays(
+        imsi=rng.integers(0, n_keys, size=n_rows).astype(np.int64),
+        dur=rng.integers(0, 3600, size=n_rows),
+        grp=rng.integers(0, 5, size=n_rows).astype(np.int64),
+    )
+
+
+class TestShardedCatalog:
+    def test_hash_save_round_trips_exactly(self):
+        facts = _make_facts()
+        catalog = ShardedCatalog(num_shards=4, shard_key="imsi")
+        placement = catalog.save(facts, "facts")
+        assert placement == Placement("hash", "imsi")
+        assert sum(catalog.shard_rows("facts")) == facts.num_rows
+        # Loading concatenates shard pieces in shard order, each piece
+        # preserving input row order — reconstruct that exactly.
+        codes = shard_of(facts.column("imsi"), 4)
+        expected = facts.mask(codes == 0)
+        for i in (1, 2, 3):
+            expected = expected.concat_rows(facts.mask(codes == i))
+        loaded = catalog.load("facts")
+        for col in facts.schema.names:
+            assert np.array_equal(loaded[col], expected[col])
+
+    def test_shards_own_disjoint_keys(self):
+        facts = _make_facts()
+        catalog = ShardedCatalog(num_shards=4, shard_key="imsi")
+        catalog.save(facts, "facts")
+        for i, shard in enumerate(catalog.shards):
+            piece = shard.scan("facts")
+            assert set(shard_of(piece.column("imsi"), 4)) <= {i}
+
+    def test_table_without_shard_key_is_replicated(self):
+        dims = Table.from_arrays(
+            offer=np.arange(8, dtype=np.int64),
+            kind=np.array(["a"] * 8, dtype=object),
+        )
+        catalog = ShardedCatalog(num_shards=3, shard_key="imsi")
+        placement = catalog.save(dims, "offers")
+        assert placement == Placement("replicated")
+        assert catalog.shard_rows("offers") == [8, 8, 8]
+
+    def test_explicit_key_overrides_default(self):
+        facts = _make_facts()
+        catalog = ShardedCatalog(num_shards=4, shard_key="imsi")
+        catalog.save(facts, "facts", key="grp")
+        assert catalog.placement("facts") == Placement("hash", "grp")
+        for i, shard in enumerate(catalog.shards):
+            piece = shard.scan("facts")
+            assert set(shard_of(piece.column("grp"), 4)) <= {i}
+
+    def test_empty_shard_pieces_keep_schema(self):
+        """More shards than keys: empty pieces must still bind the schema."""
+        tiny = Table.from_arrays(imsi=np.array([5], dtype=np.int64))
+        catalog = ShardedCatalog(num_shards=4, shard_key="imsi")
+        catalog.save(tiny, "tiny")
+        assert sorted(catalog.shard_rows("tiny")) == [0, 0, 0, 1]
+        loaded = catalog.load("tiny")
+        assert list(loaded["imsi"]) == [5]
+
+    def test_drop_exists_tables(self):
+        facts = _make_facts()
+        catalog = ShardedCatalog(num_shards=2, shard_key="imsi")
+        catalog.save(facts, "facts")
+        assert catalog.exists("facts")
+        assert "facts" in catalog.tables()
+        catalog.drop("facts")
+        assert not catalog.exists("facts")
+        assert catalog.placement("facts") is None
+
+    def test_version_bumps_on_writes(self):
+        catalog = ShardedCatalog(num_shards=2, shard_key="imsi")
+        v0 = catalog.version
+        catalog.register_temp(_make_facts(), "facts")
+        assert catalog.version > v0
+
+
+class TestShuffleExchange:
+    def _catalog(self):
+        catalog = ShardedCatalog(num_shards=4, shard_key="imsi")
+        catalog.save(_make_facts(), "facts")
+        return catalog
+
+    def test_repartition_lands_rows_on_owner_shards(self):
+        catalog = self._catalog()
+        exchange = ShuffleExchange(catalog)
+        name = exchange.repartition("facts", "grp")
+        total = 0
+        for i, shard in enumerate(catalog.shards):
+            piece = shard.scan(name, database=SHUFFLE_DATABASE)
+            total += piece.num_rows
+            assert set(shard_of(piece.column("grp"), 4)) <= {i}
+        assert total == 400
+        assert catalog.placement(name, SHUFFLE_DATABASE) == Placement(
+            "hash", "grp"
+        )
+
+    def test_repartition_is_memoized_per_version(self):
+        catalog = self._catalog()
+        exchange = ShuffleExchange(catalog)
+        first = exchange.repartition("facts", "grp")
+        assert exchange.repartition("facts", "grp") == first
+        assert exchange.shuffles == 1
+        # A catalog write invalidates the memo.
+        catalog.register_temp(_make_facts(seed=12), "other")
+        exchange.repartition("facts", "grp")
+        assert exchange.shuffles == 2
+
+    def test_distinct_column_subsets_get_distinct_names(self):
+        catalog = self._catalog()
+        exchange = ShuffleExchange(catalog)
+        wide = exchange.repartition("facts", "grp", columns=["imsi", "dur"])
+        narrow = exchange.repartition("facts", "grp", columns=["dur"])
+        assert wide != narrow
+        wide_piece = catalog.shards[0].scan(wide, database=SHUFFLE_DATABASE)
+        narrow_piece = catalog.shards[0].scan(
+            narrow, database=SHUFFLE_DATABASE
+        )
+        assert "imsi" in wide_piece.schema.names
+        assert "imsi" not in narrow_piece.schema.names
+
+    def test_large_repartition_spills_to_blockstore(self):
+        catalog = self._catalog()
+        exchange = ShuffleExchange(catalog, spill_bytes=0)
+        name = exchange.repartition("facts", "grp")
+        assert exchange.spills == 4
+        # Spilled pieces are ordinary columnar tables, still scannable.
+        assert sum(
+            shard.scan(name, database=SHUFFLE_DATABASE).num_rows
+            for shard in catalog.shards
+        ) == 400
+
+    def test_small_repartition_stays_in_memory(self):
+        catalog = self._catalog()
+        exchange = ShuffleExchange(catalog, spill_bytes=DEFAULT_SPILL_BYTES)
+        exchange.repartition("facts", "grp")
+        assert exchange.spills == 0
+
+
+def _scatter_world():
+    """Facts sharded on imsi plus a replicated dimension."""
+    rng = np.random.default_rng(7)
+    n = 600
+    facts = Table.from_arrays(
+        imsi=rng.integers(0, 40, size=n).astype(np.int64),
+        dur=rng.integers(0, 3600, size=n),
+        cell=rng.integers(0, 6, size=n).astype(np.int64),
+    )
+    sessions = Table.from_arrays(
+        imsi=rng.integers(0, 40, size=n).astype(np.int64),
+        bytes_dl=rng.integers(0, 10_000, size=n),
+    )
+    cells = Table.from_arrays(
+        id=np.arange(6, dtype=np.int64),
+        region=np.array(list("abcdef"), dtype=object),
+    )
+    return {"facts": facts, "sessions": sessions, "cells": cells}
+
+
+def _norm(table) -> list[tuple]:
+    cols = [table[c] for c in table.schema.names]
+    return sorted(
+        tuple(round(v, 9) if isinstance(v, float) else v for v in row)
+        for row in zip(*cols)
+    )
+
+
+class TestScatterGatherSQL:
+    def _engines(self, **kwargs):
+        tables = _scatter_world()
+        single = SQLEngine()
+        sharded_catalog = ShardedCatalog(num_shards=4, shard_key="imsi")
+        sharded = ShardedSQLEngine(sharded_catalog, **kwargs)
+        for name, table in tables.items():
+            single.register(table, name)
+            sharded.register(table, name)
+        return single, sharded
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            # Shard-local: filter + aggregate grouped on the shard key.
+            "SELECT imsi, SUM(dur) AS total, COUNT(*) AS n FROM facts "
+            "WHERE dur > 100 GROUP BY imsi ORDER BY imsi",
+            # Co-partitioned join on the shard key.
+            "SELECT f.imsi AS imsi, SUM(s.bytes_dl) AS b FROM facts f "
+            "JOIN sessions s ON f.imsi = s.imsi GROUP BY f.imsi "
+            "ORDER BY imsi",
+            # Replicated dimension join + non-aligned group key: the
+            # decomposable aggregate is pushed below the gather.
+            "SELECT c.region AS region, COUNT(*) AS n, AVG(f.dur) AS mean_dur "
+            "FROM facts f JOIN cells c ON f.cell = c.id GROUP BY c.region "
+            "ORDER BY region",
+            # Non-aligned self-join key: needs a shuffle exchange.
+            "SELECT f.cell AS cell, SUM(s.bytes_dl) AS b FROM facts f "
+            "JOIN sessions s ON f.cell = s.imsi GROUP BY f.cell "
+            "ORDER BY cell",
+            # Global aggregate without grouping.
+            "SELECT COUNT(*) AS n, SUM(dur) AS total, MIN(dur) AS lo, "
+            "MAX(dur) AS hi FROM facts",
+            # DISTINCT aggregate: not decomposable, falls back to a full
+            # gather — must still be correct.
+            "SELECT COUNT(DISTINCT cell) AS n FROM facts",
+        ],
+    )
+    def test_matches_single_shard(self, sql):
+        single, sharded = self._engines()
+        assert _norm(sharded.query(sql)) == _norm(single.query(sql)), sql
+
+    def test_explain_shows_gather(self):
+        _, sharded = self._engines()
+        plan = sharded.explain(
+            "SELECT imsi, SUM(dur) AS total FROM facts GROUP BY imsi"
+        )
+        assert "Gather" in plan
+
+    def test_process_backend_parity(self):
+        pool = ProcessPoolBackend(max_workers=2)
+        try:
+            single, sharded = self._engines(backend=pool)
+            sql = (
+                "SELECT c.region AS region, SUM(f.dur) AS total FROM facts f "
+                "JOIN cells c ON f.cell = c.id GROUP BY c.region "
+                "ORDER BY region"
+            )
+            assert _norm(sharded.query(sql)) == _norm(single.query(sql))
+        finally:
+            pool.close()
+
+    def test_left_join_replicated_left_realigns(self):
+        single, sharded = self._engines()
+        sql = (
+            "SELECT c.region AS region, COUNT(*) AS n FROM cells c "
+            "LEFT JOIN facts f ON c.id = f.cell GROUP BY c.region "
+            "ORDER BY region"
+        )
+        assert _norm(sharded.query(sql)) == _norm(single.query(sql))
+
+
+class TestShardedWideTable:
+    @pytest.fixture(scope="class")
+    def world(self):
+        from repro.config import ScaleConfig
+        from repro.datagen import TelcoSimulator
+
+        return TelcoSimulator(
+            ScaleConfig(population=120, months=3, seed=9)
+        ).run()
+
+    def test_bit_identical_to_central_builder(self, world):
+        from repro.features import (
+            SHARDED_CATEGORIES,
+            ShardedWideTableBuilder,
+            WideTableBuilder,
+        )
+
+        central = WideTableBuilder(world, seed=0)
+        sharded = ShardedWideTableBuilder(world, num_shards=4, seed=0)
+        for month in (1, 2):
+            want = central.features(month, SHARDED_CATEGORIES)
+            got = sharded.features(month, SHARDED_CATEGORIES)
+            assert want.names == got.names
+            assert np.array_equal(want.imsi, got.imsi)
+            assert np.array_equal(
+                want.values, got.values, equal_nan=True
+            )
+
+    def test_emits_per_shard_spans(self, world):
+        from repro.dataplat import observability
+        from repro.features import ShardedWideTableBuilder
+
+        tracer = observability.Tracer()
+        previous = observability.set_tracer(tracer)
+        try:
+            builder = ShardedWideTableBuilder(world, num_shards=3, seed=0)
+            builder.category("F1", 1)
+        finally:
+            observability.set_tracer(previous)
+        shards = {
+            span.tags.get("shard")
+            for span in tracer.iter_spans()
+            if span.name == "shard.widetable"
+        }
+        assert shards == {0, 1, 2}
